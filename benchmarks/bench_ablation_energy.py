@@ -1,0 +1,72 @@
+"""Ablation: DRAM data-movement energy across designs.
+
+The paper's Section I motivates PoM with system cost and power; the
+other side of that coin is the energy swap traffic burns.  This bench
+estimates per-design DRAM energy from the device counters: designs
+that move fewer segment bytes (Chameleon-Opt) spend less transfer
+energy than swap-happy PoM at equal-or-better performance.
+"""
+
+from conftest import emit
+
+from repro.arch import PoMArchitecture
+from repro.core import ChameleonArchitecture, ChameleonOptArchitecture
+from repro.dram.power import system_energy
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import FigureResult
+from repro.sim import simulate
+from repro.workloads import benchmark, build_workload
+
+WORKLOADS = ("mcf", "bwaves", "stream", "GemsFDTD")
+DESIGNS = (
+    ("PoM", PoMArchitecture),
+    ("Chameleon", ChameleonArchitecture),
+    ("Chameleon-Opt", ChameleonOptArchitecture),
+)
+
+
+def run_energy_ablation(scale):
+    config = scale.config()
+    headers = ["design", "transfer uJ", "activate uJ", "moved MB", "swaps"]
+    rows = []
+    summary = {}
+    for label, factory in DESIGNS:
+        transfer = activate = moved = swaps = 0.0
+        for name in WORKLOADS:
+            workload = build_workload(config, benchmark(name))
+            result = simulate(
+                factory(config),
+                workload,
+                accesses_per_core=scale.accesses_per_core,
+                warmup_per_core=scale.warmup_per_core,
+            )
+            report = system_energy(
+                result.counters, config.fast_mem, config.slow_mem, 0.0
+            )
+            transfer += report.transfer_nj / 1000.0
+            activate += report.activate_nj / 1000.0
+            moved += (
+                result.counters["dram.stacked.bytes"]
+                + result.counters["dram.offchip.bytes"]
+            ) / (1 << 20)
+            swaps += result.swaps
+        rows.append([label, transfer, activate, moved, swaps])
+        summary[f"transfer_uj:{label}"] = transfer
+        summary[f"moved_mb:{label}"] = moved
+    return FigureResult(
+        "Ablation: DRAM data-movement energy", headers, rows, summary
+    )
+
+
+def test_ablation_movement_energy(run_once):
+    result = run_once(run_energy_ablation, DEFAULT_SCALE)
+    emit(
+        result,
+        "free-space awareness deletes swap bytes, hence transfer energy",
+    )
+    summary = result.summary
+    assert (
+        summary["transfer_uj:Chameleon-Opt"]
+        <= summary["transfer_uj:PoM"] * 1.02
+    )
+    assert summary["moved_mb:Chameleon-Opt"] <= summary["moved_mb:PoM"] * 1.02

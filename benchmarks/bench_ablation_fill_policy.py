@@ -1,0 +1,61 @@
+"""Ablation: Chameleon's cache-mode fill policy — thrash-protected
+(default) vs fill-on-every-miss ("always").  The paper specifies
+threshold-free caching; the protected policy keeps that adaptivity
+while resisting ping-pong on low-spatial-locality workloads."""
+
+from conftest import emit
+
+from repro.core import ChameleonOptArchitecture
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import FigureResult
+from repro.sim import simulate
+from repro.workloads import benchmark, build_workload
+
+WORKLOADS = ("mcf", "bwaves", "stream")
+
+
+def run_fill_policy_ablation(scale):
+    config = scale.config()
+    headers = ["workload", "policy", "hit %", "IPC", "fills", "swaps"]
+    rows = []
+    summary = {}
+    for name in WORKLOADS:
+        workload = build_workload(config, benchmark(name))
+        for policy in ("protect", "always"):
+            result = simulate(
+                ChameleonOptArchitecture(config, fill_policy=policy),
+                workload,
+                accesses_per_core=scale.accesses_per_core,
+                warmup_per_core=scale.warmup_per_core,
+            )
+            rows.append(
+                [
+                    name,
+                    policy,
+                    result.fast_hit_rate * 100,
+                    result.geomean_ipc,
+                    result.counters["chameleon.fills"],
+                    result.swaps,
+                ]
+            )
+            summary[f"{name}:{policy}:ipc"] = result.geomean_ipc
+            summary[f"{name}:{policy}:fills"] = result.counters[
+                "chameleon.fills"
+            ]
+    return FigureResult(
+        "Ablation: cache-mode fill policy", headers, rows, summary
+    )
+
+
+def test_ablation_fill_policy(run_once):
+    result = run_once(run_fill_policy_ablation, DEFAULT_SCALE)
+    emit(result, "protect resists mcf-style ping-pong; always fills more")
+    summary = result.summary
+    # Fill-on-every-miss always issues at least as many fills.
+    for name in WORKLOADS:
+        assert (
+            summary[f"{name}:always:fills"]
+            >= summary[f"{name}:protect:fills"]
+        )
+    # And on the thrash-prone workload the protection pays off.
+    assert summary["mcf:protect:ipc"] >= summary["mcf:always:ipc"] * 0.95

@@ -1,0 +1,77 @@
+"""Ablation: KNL-style static hybrid modes vs dynamic Chameleon
+(Section II-C3 background).  KNL partitions its MC-DRAM at boot (100%
+cache / 25% / 50% hybrids / 100% memory) and needs a reboot to change;
+the sweep shows every static point losing somewhere — capacity
+(faults) at high cache shares, hit rate at low ones — while Chameleon
+reconfigures per segment group at runtime."""
+
+from conftest import emit
+
+from repro.arch import StaticHybridMemory
+from repro.core import ChameleonOptArchitecture
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import FigureResult
+from repro.sim import simulate
+from repro.stats import geomean
+from repro.workloads import benchmark, build_workload
+
+WORKLOADS = ("mcf", "bwaves", "cloverleaf", "comd")
+FRACTIONS = (0.0, 0.25, 0.5, 1.0)
+
+
+def run_knl_ablation(scale):
+    config = scale.config()
+    headers = ["design", "geomean IPC", "avg hit %", "total faults"]
+    rows = []
+    summary = {}
+
+    def run_design(label, factory):
+        ipcs, hits, faults = [], [], 0
+        for name in WORKLOADS:
+            workload = build_workload(config, benchmark(name))
+            result = simulate(
+                factory(),
+                workload,
+                accesses_per_core=scale.accesses_per_core,
+                warmup_per_core=scale.warmup_per_core,
+            )
+            ipcs.append(result.geomean_ipc)
+            hits.append(result.fast_hit_rate)
+            faults += result.page_faults
+        rows.append(
+            [label, geomean(ipcs), sum(hits) / len(hits) * 100, faults]
+        )
+        summary[label] = geomean(ipcs)
+        summary[f"faults:{label}"] = float(faults)
+
+    for fraction in FRACTIONS:
+        run_design(
+            f"KNL {int(fraction * 100)}% cache",
+            lambda f=fraction: StaticHybridMemory(config, cache_fraction=f),
+        )
+    run_design("Chameleon-Opt", lambda: ChameleonOptArchitecture(config))
+    return FigureResult(
+        "Ablation: KNL static hybrid modes vs Chameleon-Opt",
+        headers,
+        rows,
+        summary,
+    )
+
+
+def test_ablation_knl_static_modes(run_once):
+    result = run_once(run_knl_ablation, DEFAULT_SCALE)
+    emit(
+        result,
+        "KNL modes are fixed until reboot; every static point loses "
+        "capacity or hit rate somewhere",
+    )
+    summary = result.summary
+    # 100% cache faults on the high-footprint workloads; 0% never does.
+    assert summary["faults:KNL 100% cache"] > 0
+    assert summary["faults:KNL 0% cache"] == 0
+    # The dynamic design beats every static point.
+    for fraction in FRACTIONS:
+        assert (
+            summary["Chameleon-Opt"]
+            >= summary[f"KNL {int(fraction * 100)}% cache"] * 0.98
+        )

@@ -1,0 +1,68 @@
+"""Ablation: scale invariance of the proportionally scaled methodology.
+
+DESIGN.md claims the paper's relationships survive shrinking every
+capacity by a constant factor.  This sweep runs the Chameleon-vs-PoM
+comparison at three scales (2MB/4MB/8MB stacked DRAM) and checks the
+orderings hold at each — the justification for simulating the paper's
+4GB system at laptop scale.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import geomean_by_design, run_design_sweep
+
+DESIGNS = ("PoM", "Chameleon", "Chameleon-Opt")
+SCALES_MB = (2.0, 4.0, 8.0)
+WORKLOADS = ("mcf", "bwaves", "GemsFDTD", "cloverleaf")
+
+
+def run_scale_ablation(base_scale):
+    headers = ["stacked size", "PoM", "Chameleon", "Chameleon-Opt",
+               "Opt/PoM hit gap [pt]"]
+    rows = []
+    summary = {}
+    for fast_mb in SCALES_MB:
+        scale = dataclasses.replace(
+            base_scale,
+            fast_mb=fast_mb,
+            benchmarks=WORKLOADS,
+            accesses_per_core=1200,
+            warmup_per_core=3600,
+        )
+        results = run_design_sweep(scale, DESIGNS)
+        means = geomean_by_design(results, DESIGNS, WORKLOADS)
+        base = means["PoM"]
+        hit_gap = (
+            sum(
+                results[("Chameleon-Opt", name)].fast_hit_rate
+                - results[("PoM", name)].fast_hit_rate
+                for name in WORKLOADS
+            )
+            / len(WORKLOADS)
+            * 100
+        )
+        rows.append(
+            [f"{fast_mb:.0f}MB"]
+            + [means[d] / base for d in DESIGNS]
+            + [hit_gap]
+        )
+        summary[f"opt_vs_pom@{fast_mb:.0f}MB"] = (
+            means["Chameleon-Opt"] / base - 1.0
+        ) * 100
+    return FigureResult(
+        "Ablation: scale invariance (IPC normalised to PoM per scale)",
+        headers,
+        rows,
+        summary,
+    )
+
+
+def test_ablation_scale_invariance(run_once):
+    result = run_once(run_scale_ablation, DEFAULT_SCALE)
+    emit(result, "orderings must hold at every scale")
+    for fast_mb in SCALES_MB:
+        assert result.summary[f"opt_vs_pom@{fast_mb:.0f}MB"] > -2.0

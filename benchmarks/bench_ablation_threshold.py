@@ -1,0 +1,56 @@
+"""Ablation: the PoM competing-counter swap threshold.
+
+Section III-E describes the threshold gating swaps; this ablation
+sweeps it.  A low threshold adapts faster but burns bandwidth on swaps,
+a high one starves the stacked DRAM — the tension Chameleon's
+threshold-free cache mode resolves.
+"""
+
+from conftest import emit
+
+from repro.arch import PoMArchitecture
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import FigureResult
+from repro.sim import simulate
+from repro.stats import geomean
+from repro.workloads import benchmark, build_workload
+
+WORKLOADS = ("mcf", "bwaves", "stream", "GemsFDTD")
+THRESHOLDS = (1, 2, 4, 8, 16)
+
+
+def run_threshold_ablation(scale):
+    config = scale.config()
+    headers = ["threshold", "geomean IPC", "avg hit %", "swaps"]
+    rows = []
+    summary = {}
+    for threshold in THRESHOLDS:
+        ipcs, hits, swaps = [], [], 0.0
+        for name in WORKLOADS:
+            workload = build_workload(config, benchmark(name))
+            result = simulate(
+                PoMArchitecture(config, swap_threshold=threshold, swap_cooldown=0),
+                workload,
+                accesses_per_core=scale.accesses_per_core,
+                warmup_per_core=scale.warmup_per_core,
+            )
+            ipcs.append(result.geomean_ipc)
+            hits.append(result.fast_hit_rate)
+            swaps += result.swaps
+        rows.append(
+            [threshold, geomean(ipcs), sum(hits) / len(hits) * 100, swaps]
+        )
+        summary[f"ipc@{threshold}"] = geomean(ipcs)
+        summary[f"swaps@{threshold}"] = swaps
+    return FigureResult(
+        "Ablation: PoM swap threshold", headers, rows, summary
+    )
+
+
+def test_ablation_swap_threshold(run_once):
+    result = run_once(run_threshold_ablation, DEFAULT_SCALE)
+    emit(result, "higher thresholds trade hit rate for swap bandwidth")
+    summary = result.summary
+    # With the epoch cooldown disabled, swaps fall monotonically as the
+    # threshold rises.
+    assert summary["swaps@1"] > summary["swaps@4"] > summary["swaps@16"]

@@ -1,0 +1,18 @@
+"""Figure 2b: AutoNUMA stacked-DRAM hit rates for the 70/80/90%
+numa_period_threshold settings (paper average 64.4%, higher threshold
+is better)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.os_figures import run_fig2b
+
+
+def test_fig2b_autonuma_thresholds(run_once):
+    result = run_once(run_fig2b, DEFAULT_SCALE)
+    emit(result, "avg 64.4%; 90% threshold > 80% > 70%")
+    low = result.summary["autoNUMA_70percent"]
+    high = result.summary["autoNUMA_90percent"]
+    assert high >= low  # higher threshold migrates more rapidly
+    # AutoNUMA clearly beats first-touch but stays below hardware designs.
+    assert 25.0 < high < 90.0

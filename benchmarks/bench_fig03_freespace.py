@@ -1,0 +1,26 @@
+"""Figure 3: free memory over the sequential workload schedule on the
+24GB machine (paper: 53.8 hours, free space swinging between a few MB
+and several GB as workloads allocate at start and free at exit)."""
+
+from repro.experiments import format_series
+from repro.experiments.longrun_figures import run_fig3
+
+
+def test_fig3_free_memory_timeline(run_once):
+    timeline, result = run_once(run_fig3)
+    print()
+    print(
+        format_series(
+            timeline.times,
+            {"free_mb": timeline.series("free_mb")},
+            title=result.figure,
+            max_points=30,
+        )
+    )
+    print(
+        "[paper] free memory varies from a few MB to several GB over "
+        "53.8 hours; regions 1-5 drop below 6GB free"
+    )
+    summary = result.summary
+    assert summary["min_free_mb"] < 2048  # deep troughs (region 1-5 analogue)
+    assert summary["max_free_mb"] > 16_000  # near-empty between workloads

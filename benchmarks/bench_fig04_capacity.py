@@ -1,0 +1,17 @@
+"""Figure 4: execution-time improvement vs the 16GB system as capacity
+grows to 28GB (paper: 29.5% at 18GB to 75.4% at 24GB, saturating
+afterwards)."""
+
+from conftest import emit
+
+from repro.experiments.longrun_figures import run_fig4
+
+
+def test_fig4_capacity_improvement(run_once):
+    result = run_once(run_fig4)
+    emit(result, "average improvement 29.5% @18GB -> 75.4% @24GB, flat after")
+    summary = result.summary
+    assert summary["18GB"] < summary["20GB"] < summary["24GB"]
+    assert summary["24GB"] == summary["26GB"] == summary["28GB"]
+    assert 15.0 < summary["18GB"] < 45.0
+    assert 55.0 < summary["24GB"] < 90.0

@@ -1,0 +1,21 @@
+"""Figure 5: page faults (millions) and CPU utilisation per capacity
+(paper: faults fall and utilisation rises to 100% as capacity grows;
+at low capacities tasks sit in the uninterruptible "D" state)."""
+
+from conftest import emit
+
+from repro.experiments.longrun_figures import run_fig5
+
+
+def test_fig5_faults_and_utilisation(run_once):
+    result = run_once(run_fig5)
+    emit(
+        result,
+        "utilisation ~10-40% at 16GB rising to 100% at 24GB+; faults "
+        "drop to zero",
+    )
+    summary = result.summary
+    assert summary["util@16GB"] < summary["util@20GB"] < summary["util@24GB"]
+    assert summary["util@24GB"] > 99.9
+    assert summary["faults_M@24GB"] == 0.0
+    assert summary["faults_M@16GB"] > summary["faults_M@20GB"]

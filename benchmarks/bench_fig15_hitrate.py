@@ -1,0 +1,21 @@
+"""Figure 15: stacked-DRAM hit rate per workload (paper averages:
+Alloy 62.4%, PoM 81.0%, Chameleon 84.6%, Chameleon-Opt 89.4%)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig15
+
+
+def test_fig15_stacked_hit_rates(run_once):
+    result = run_once(run_fig15, DEFAULT_SCALE)
+    emit(result, "averages: Alloy 62.4 / PoM 81.0 / Chameleon 84.6 / Opt 89.4")
+    summary = result.summary
+    # Ordering: Alloy < PoM <= Chameleon <= Chameleon-Opt.
+    assert summary["Alloy-Cache"] < summary["PoM"]
+    assert summary["PoM"] <= summary["Chameleon"] + 1.0
+    assert summary["Chameleon"] <= summary["Chameleon-Opt"] + 1.0
+    # Magnitudes in the paper's neighbourhood.
+    assert 45.0 < summary["Alloy-Cache"] < 75.0
+    assert 70.0 < summary["PoM"] < 92.0
+    assert 75.0 < summary["Chameleon-Opt"] < 95.0

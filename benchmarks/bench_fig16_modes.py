@@ -1,0 +1,17 @@
+"""Figure 16: cache-mode vs PoM-mode segment-group distribution (paper
+averages: 9.2% cache mode for Chameleon, 40.6% for Chameleon-Opt)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig16
+
+
+def test_fig16_mode_distribution(run_once):
+    result = run_once(run_fig16, DEFAULT_SCALE)
+    emit(result, "averages: Chameleon 9.2% cache mode, Chameleon-Opt 40.6%")
+    summary = result.summary
+    # With scattered occupancy p: basic ~ (1-p), Opt ~ (1-p^6).
+    assert 5.0 < summary["Chameleon"] < 20.0
+    assert 30.0 < summary["Chameleon-Opt"] < 55.0
+    assert summary["Chameleon-Opt"] > 2.5 * summary["Chameleon"]

@@ -1,0 +1,17 @@
+"""Figure 17: segment swaps normalised to PoM (paper: Chameleon 0.856,
+Chameleon-Opt 0.569 — 14.4% and 43.1% fewer swaps)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig17
+
+
+def test_fig17_swap_reduction(run_once):
+    result = run_once(run_fig17, DEFAULT_SCALE)
+    emit(result, "Chameleon 0.856x PoM swaps, Chameleon-Opt 0.569x")
+    summary = result.summary
+    assert summary["PoM"] == 1.0
+    assert summary["Chameleon"] < 1.0
+    assert summary["Chameleon-Opt"] < summary["Chameleon"]
+    assert 0.45 < summary["Chameleon-Opt"] < 0.85

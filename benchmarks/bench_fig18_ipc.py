@@ -1,0 +1,27 @@
+"""Figure 18: normalised IPC of the six main designs (paper geomeans vs
+the 20GB flat baseline: 24GB flat +35.6%, PoM +85.2%, Chameleon +96.8%,
+Chameleon-Opt +106.3%; Chameleon-Opt beats PoM by 11.6% and Alloy by
+24.2%)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig18
+
+
+def test_fig18_normalised_ipc(run_once):
+    result = run_once(run_fig18, DEFAULT_SCALE)
+    emit(
+        result,
+        "geomean vs 20GB baseline: 24GB 1.356, PoM 1.852, Chameleon "
+        "1.968, Opt 2.063",
+    )
+    summary = result.summary
+    # The paper's full ordering.
+    assert summary["baseline_20GB_DDR3"] == 1.0
+    assert summary["Alloy-Cache"] < summary["baseline_24GB_DDR3"] * 1.2
+    assert summary["baseline_24GB_DDR3"] < summary["PoM"]
+    assert summary["PoM"] < summary["Chameleon"]
+    assert summary["Chameleon"] < summary["Chameleon-Opt"]
+    # Hardware PoM designs land far above the capacity-limited baseline.
+    assert summary["PoM"] > 1.5

@@ -1,0 +1,18 @@
+"""Figure 19: average memory access latency in CPU cycles (paper:
+PoM highest at ~600-700 cycles geomean, Chameleon lower, Chameleon-Opt
+lowest — fewer swaps and higher hit rates cut the AMAT)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig19
+
+
+def test_fig19_memory_latency(run_once):
+    result = run_once(run_fig19, DEFAULT_SCALE)
+    emit(result, "geomean AMAT: PoM > Chameleon > Chameleon-Opt")
+    summary = result.summary
+    assert summary["Chameleon-Opt"] <= summary["Chameleon"] * 1.02
+    assert summary["Chameleon"] <= summary["PoM"] * 1.02
+    # Hundreds of CPU cycles, as in the paper's y-axis.
+    assert 20.0 < summary["PoM"] < 1500.0

@@ -1,0 +1,24 @@
+"""Figure 20: Chameleon vs the OS-based solutions (paper: Chameleon
++28.7% over the NUMA-aware allocator and +19.1% over AutoNUMA;
+Chameleon-Opt +34.8% and +24.9%)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig20
+
+
+def test_fig20_os_solutions(run_once):
+    result = run_once(run_fig20, DEFAULT_SCALE)
+    emit(
+        result,
+        "Chameleon +28.7%/+19.1% over first-touch/AutoNUMA; Opt "
+        "+34.8%/+24.9%",
+    )
+    summary = result.summary
+    # Hardware co-design beats both OS-based policies.
+    assert summary["Chameleon-Opt"] > summary["numaAware"]
+    assert summary["Chameleon-Opt"] > summary["autoNUMA_90percent"]
+    assert summary["Chameleon"] > summary["numaAware"]
+    # AutoNUMA improves on plain first-touch hit rates via migration.
+    assert summary["autoNUMA_90percent"] >= summary["autoNUMA_70percent"] * 0.95

@@ -1,0 +1,17 @@
+"""Figure 21: Chameleon-Opt mode distribution across stacked:off-chip
+ratios (paper cache-mode averages: 33% at 1:3, 40.6% at 1:5, 48.7% at
+1:7 — more segments per group means more groups keep a free one)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig21
+
+
+def test_fig21_ratio_sensitivity(run_once):
+    result = run_once(run_fig21, DEFAULT_SCALE)
+    emit(result, "Opt cache-mode: 33% @1:3, 40.6% @1:5, 48.7% @1:7")
+    summary = result.summary
+    assert summary["1:3"] < summary["1:5"] < summary["1:7"]
+    assert 20.0 < summary["1:3"] < 45.0
+    assert 38.0 < summary["1:7"] < 62.0

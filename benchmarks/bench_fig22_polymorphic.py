@@ -1,0 +1,16 @@
+"""Figure 22: comparison with Polymorphic Memory (paper: Chameleon
++10.5% and Chameleon-Opt +15.8% over the patent design, which harvests
+the same stacked free space but never hot-swaps allocated pages)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig22
+
+
+def test_fig22_polymorphic_memory(run_once):
+    result = run_once(run_fig22, DEFAULT_SCALE)
+    emit(result, "Chameleon +10.5%, Chameleon-Opt +15.8% over Polymorphic")
+    summary = result.summary
+    assert summary["opt_vs_poly_percent"] > 0.0
+    assert summary["opt_vs_poly_percent"] > summary["cham_vs_poly_percent"] - 1.0

@@ -1,0 +1,23 @@
+"""Figure 23: normalised IPC across capacity ratios (paper: Chameleon/
+Chameleon-Opt beat PoM by 5.9%/7.6% at 1:3 and by 8.1%/12.4% at 1:7 —
+the advantage grows when the stacked DRAM is scarcer)."""
+
+from conftest import emit
+
+from repro.experiments import DEFAULT_SCALE
+from repro.experiments.figures import run_fig23
+
+
+def test_fig23_ratio_ipc(run_once):
+    result = run_once(run_fig23, DEFAULT_SCALE)
+    emit(
+        result,
+        "Opt over PoM: +7.6% @1:3, +12.4% @1:7 (gains grow with ratio)",
+    )
+    summary = result.summary
+    # Chameleon-Opt stays ahead of PoM at both ratios (the paper's
+    # growth of the margin with the ratio is only partially reproduced;
+    # see EXPERIMENTS.md).
+    assert summary["1:3:opt_vs_pom"] > 0.0
+    assert summary["1:7:opt_vs_pom"] > 0.0
+    assert summary["1:7:opt_vs_pom"] >= summary["1:3:opt_vs_pom"] - 2.0

@@ -1,0 +1,18 @@
+"""Section VI-F: ISA-Alloc/ISA-Free overhead analysis (paper: 242.8M
+ISA events over the 53.8-hour Figure 3 schedule, one conservative 2KB
+swap each at 700 cycles/64B on a 2.25GHz Xeon = 1.06% of end-to-end
+execution time)."""
+
+from repro.experiments.overhead import run_overhead_analysis
+
+
+def test_secVIF_isa_overhead(run_once):
+    report = run_once(run_overhead_analysis)
+    print()
+    print("Section VI-F: ISA-Alloc/ISA-Free overhead analysis")
+    print(f"  ISA events        : {report.isa_events / 1e6:,.1f}M (paper 242.8M)")
+    print(f"  swap time         : {report.swap_seconds:,.0f}s (paper 2071.89s)")
+    print(f"  end-to-end time   : {report.total_seconds / 3600:,.1f}h (paper 53.8h)")
+    print(f"  overhead          : {report.overhead_percent:.2f}% (paper 1.06%)")
+    assert 1e8 < report.isa_events < 5e8
+    assert 0.3 < report.overhead_percent < 3.0

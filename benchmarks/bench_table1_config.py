@@ -1,0 +1,20 @@
+"""Table I: the simulated baseline configuration.
+
+Regenerates the configuration table from :mod:`repro.config` and checks
+the architectural ratios the rest of the evaluation relies on.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import run_table1
+
+
+def test_table1_configuration(run_once):
+    result = run_once(run_table1)
+    emit(
+        result,
+        "Table I: 12 cores @3.6GHz, 4GB stacked (128b/ch @1.6GHz DDR), "
+        "20GB off-chip (64b/ch @0.8GHz DDR), 11-11-11-28, 100K-cycle faults",
+    )
+    assert result.summary["peak_bw_ratio"] == 4.0
+    assert result.summary["capacity_ratio"] == 5.0

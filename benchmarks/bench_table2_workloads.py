@@ -1,0 +1,19 @@
+"""Table II: workload characteristics (LLC-MPKI and memory footprint).
+
+Regenerates the catalogue and verifies the synthetic workloads achieve
+the paper's MPKI and footprint targets.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import run_table2
+
+
+def test_table2_workload_characteristics(run_once):
+    result = run_once(run_table2)
+    emit(
+        result,
+        "Table II: 14 rate-mode workloads, MPKI 0.19 (miniGhost) to "
+        "59.8 (mcf), footprints 19.17GB to 23.18GB",
+    )
+    assert result.summary["max_mpki_relative_error"] < 0.05

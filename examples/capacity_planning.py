@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Capacity planning: how much DRAM does this machine actually need?
+
+Section III-C shows that insufficient OS-visible capacity is
+catastrophic (SSD thrashing, CPUs stuck in the uninterruptible "D"
+state) while over-provisioning is wasted money.  Section I argues PoM
+architectures let a 4GB-stacked + 12GB-off-chip machine replace a
+4GB + 16GB one.  This example reproduces that planning exercise with
+the long-run model behind Figures 4 and 5.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro.config import GB
+from repro.experiments.longrun_figures import (
+    CAPACITIES_GB,
+    FIG4_WORKLOADS,
+    longrun_spec,
+)
+from repro.osmodel.longrun import LongRunSimulator, improvement_percent
+
+
+def main() -> None:
+    specs = [longrun_spec(name, base_seconds=3600.0) for name in FIG4_WORKLOADS]
+
+    print("== capacity sweep (Figure 4/5 reproduction) ==")
+    print(
+        f"{'capacity':>9} {'avg improvement':>16} {'avg CPU util':>13} "
+        f"{'total faults [M]':>17}"
+    )
+    baselines = [LongRunSimulator(16 * GB).run(spec) for spec in specs]
+    chosen_gb = None
+    for gb in CAPACITIES_GB:
+        simulator = LongRunSimulator(int(gb * GB))
+        runs = [simulator.run(spec) for spec in specs]
+        improvement = sum(
+            improvement_percent(base, run)
+            for base, run in zip(baselines, runs)
+        ) / len(runs)
+        utilisation = sum(r.cpu_utilisation for r in runs) / len(runs)
+        faults = sum(r.page_faults for r in runs) / 1e6
+        marker = ""
+        if chosen_gb is None and faults == 0.0:
+            chosen_gb = gb
+            marker = "  <- smallest fault-free capacity"
+        print(
+            f"{gb:>7}GB {improvement:>15.1f}% {utilisation:>12.1%} "
+            f"{faults:>17.2f}{marker}"
+        )
+
+    assert chosen_gb is not None
+    print(
+        f"\nThe workload mix needs {chosen_gb}GB of OS-visible memory; "
+        "beyond that, performance saturates (paper: 75.4% improvement "
+        "at 24GB, flat at 26/28GB)."
+    )
+
+    print("\n== the PoM cost argument (Section I) ==")
+    # A cache organisation hides the stacked 4GB: to present 24GB to
+    # the OS it must buy 24GB of off-chip DRAM.  A PoM organisation
+    # reaches the same 24GB with only 20GB off-chip.
+    stacked_gb = 4
+    print(
+        f"  DRAM cache   : {chosen_gb}GB off-chip + {stacked_gb}GB "
+        f"stacked (hidden)  -> {chosen_gb + stacked_gb}GB purchased"
+    )
+    print(
+        f"  PoM/Chameleon: {chosen_gb - stacked_gb}GB off-chip + "
+        f"{stacked_gb}GB stacked (visible) -> {chosen_gb}GB purchased"
+    )
+    print(
+        f"  saving: {stacked_gb}GB of off-chip DRAM per node at equal "
+        "OS-visible capacity"
+    )
+
+
+if __name__ == "__main__":
+    main()

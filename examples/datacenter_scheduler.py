@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Datacenter scenario: OS-visible capacity decides how many jobs fit.
+
+Section I motivates Part-of-Memory architectures with datacenter
+throughput: exposing the stacked DRAM to the OS lets the scheduler
+admit more jobs and avoids page faults for jobs that mis-declared their
+footprints.  This example plays that scenario out:
+
+1. a simple backlog of jobs with declared footprints is admitted
+   against the OS-visible capacity of each memory organisation
+   (a cache hides the stacked 4GB; PoM/Chameleon expose it);
+2. one admitted job under-declared its footprint — on the
+   capacity-limited cache organisation it thrashes the SSD, on
+   Chameleon it does not;
+3. Chameleon additionally uses whatever stays free as a hardware cache,
+   so the lightly loaded phases run faster than plain PoM.
+
+Run:
+    python examples/datacenter_scheduler.py
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import (
+    AlloyCache,
+    ChameleonOptArchitecture,
+    PoMArchitecture,
+    benchmark,
+    build_workload,
+    scaled_config,
+    simulate,
+)
+from repro.config import MB
+from repro.osmodel.longrun import LongRunSimulator, WorkloadSpec
+
+
+@dataclass
+class Job:
+    name: str
+    declared_mb: float
+    actual_mb: float
+    base_seconds: float = 120.0
+
+
+def admit(jobs: List[Job], capacity_mb: float) -> List[Job]:
+    """First-fit admission against the declared footprints."""
+    admitted, used = [], 0.0
+    for job in jobs:
+        if used + job.declared_mb <= capacity_mb:
+            admitted.append(job)
+            used += job.declared_mb
+    return admitted
+
+
+def main() -> None:
+    config = scaled_config(fast_mb=4.0)
+    total_mb = config.total_capacity_bytes / MB
+    cache_visible_mb = config.slow_mem.capacity_bytes / MB
+
+    backlog = [
+        Job("render-A", declared_mb=8, actual_mb=8),
+        Job("etl-B", declared_mb=6, actual_mb=7.5),  # under-declared!
+        Job("train-C", declared_mb=5, actual_mb=5),
+        Job("index-D", declared_mb=4, actual_mb=4),
+    ]
+
+    print("== 1. admission: OS-visible capacity ==")
+    for label, capacity in (
+        (f"DRAM cache   ({cache_visible_mb:.0f}MB visible)", cache_visible_mb),
+        (f"PoM/Chameleon ({total_mb:.0f}MB visible)", total_mb),
+    ):
+        admitted = admit(backlog, capacity)
+        print(
+            f"  {label}: admits {len(admitted)}/{len(backlog)} jobs "
+            f"({', '.join(job.name for job in admitted)})"
+        )
+
+    print("\n== 2. the under-declared job (etl-B) ==")
+    for label, capacity_mb in (
+        ("DRAM cache", cache_visible_mb),
+        ("PoM/Chameleon", total_mb),
+    ):
+        # Admission packed jobs by declared sizes; compute the slack
+        # actually available to etl-B under each organisation.
+        other = sum(j.actual_mb for j in backlog if j.name != "etl-B")
+        available = capacity_mb - min(other, capacity_mb - 1)
+        spec = WorkloadSpec(
+            name="etl-B",
+            footprint_bytes=int(7.5 * MB),
+            base_seconds=120.0,
+            page_touch_rate=5e4,
+            locality=0.6,
+        )
+        run = LongRunSimulator(int(max(1.0, available) * MB)).run(spec)
+        print(
+            f"  {label:<14}: {available:5.1f}MB left for a 7.5MB job -> "
+            f"{run.page_faults:8.0f} faults, "
+            f"CPU util {run.cpu_utilisation:6.1%}, "
+            f"runtime {run.duration_seconds:7.1f}s"
+        )
+
+    print("\n== 3. a lightly loaded phase (free space as cache) ==")
+    # Only half the memory is allocated: Chameleon harvests the rest.
+    workload = build_workload(
+        config, benchmark("bwaves"), footprint_override_fraction=0.5
+    )
+    for arch in (
+        AlloyCache(config),
+        PoMArchitecture(config),
+        ChameleonOptArchitecture(config),
+    ):
+        result = simulate(
+            arch, workload, accesses_per_core=1500, warmup_per_core=1500
+        )
+        cache = (
+            f", {result.cache_mode_fraction:.0%} groups caching"
+            if result.cache_mode_fraction is not None
+            else ""
+        )
+        print(
+            f"  {arch.name:<14}: hit {result.fast_hit_rate:6.1%}, "
+            f"geomean IPC {result.geomean_ipc:.4f}{cache}"
+        )
+
+    print(
+        "\nPoM capacity admits more jobs and absorbs mis-declared "
+        "footprints; Chameleon keeps cache-like speed when memory is "
+        "not fully committed."
+    )
+
+
+if __name__ == "__main__":
+    main()

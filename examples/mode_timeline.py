@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Watch segment groups flip between PoM and cache mode live.
+
+The paper's workloads allocate everything up front, so Figure 16's mode
+distribution is static during measurement.  This example shows the
+*dynamic* behaviour the co-design enables: a workload that allocates,
+computes, and frees in phases, with Chameleon-Opt converting the freed
+space into cache within the same run — the ISA-Alloc/ISA-Free
+transition machinery of Figures 8-14 exercised end to end.
+
+Run:
+    python examples/mode_timeline.py
+"""
+
+from repro import (
+    ChameleonOptArchitecture,
+    benchmark,
+    build_workload,
+    scaled_config,
+    simulate,
+)
+
+
+def phase(label, arch, workload=None, accesses=1200):
+    """Run one phase and report the mode distribution afterwards."""
+    if workload is not None:
+        result = simulate(
+            arch,
+            workload,
+            accesses_per_core=accesses,
+            warmup_per_core=0,
+            apply_isa=False,  # allocations are driven explicitly below
+        )
+        hit = f"hit {result.fast_hit_rate:6.1%}"
+    else:
+        hit = " " * 10
+    cache_fraction, pom_fraction = arch.mode_distribution()
+    print(
+        f"  {label:<34} {hit}  cache-mode {cache_fraction:6.1%} / "
+        f"PoM-mode {pom_fraction:6.1%}"
+    )
+
+
+def main() -> None:
+    config = scaled_config(fast_mb=4.0)
+    arch = ChameleonOptArchitecture(config)
+
+    # Two co-resident tenants with different lifetimes and disjoint
+    # physical footprints.
+    tenant_a = build_workload(
+        config, benchmark("bwaves"), footprint_override_fraction=0.45, seed=1
+    )
+    tenant_b = build_workload(
+        config,
+        benchmark("GemsFDTD"),
+        footprint_override_fraction=0.45,
+        seed=2,
+        exclude_segments=set(tenant_a.segments),
+    )
+
+    isa_totals = {"alloc": 0.0, "free": 0.0, "remap": 0.0}
+
+    def note_isa():
+        # simulate() resets architecture counters at its warmup
+        # boundary, so ISA activity is banked right after each storm.
+        isa_totals["alloc"] += arch.counters["isa.alloc_seen"]
+        isa_totals["free"] += arch.counters["isa.free_seen"]
+        isa_totals["remap"] += arch.counters[
+            "chameleon_opt.proactive_remaps"
+        ]
+        arch.counters.reset()
+
+    print("Chameleon-Opt mode distribution over a tenant lifecycle:\n")
+
+    # Phase 1: tenant A allocates and runs; more than half of memory is
+    # free, so most groups cache.
+    tenant_a.apply_allocations(arch)
+    note_isa()
+    phase("A allocated (45% occupancy)", arch, tenant_a)
+
+    # Phase 2: tenant B arrives; memory is now ~90% full and far fewer
+    # groups keep a free segment to cache with.
+    tenant_b.apply_allocations(arch)
+    note_isa()
+    phase("A + B allocated (90% occupancy)", arch, tenant_b)
+
+    # Phase 3: tenant A finishes and frees its pages (ISA-Free storm);
+    # Chameleon-Opt proactively remaps and re-enters cache mode.
+    tenant_a.release_allocations(arch)
+    note_isa()
+    phase("A freed, B still running", arch, tenant_b)
+
+    # Phase 4: tenant B finishes too; the machine is idle and every
+    # touched group offers its stacked slot as cache again.
+    tenant_b.release_allocations(arch)
+    note_isa()
+    phase("all freed", arch)
+
+    print(
+        f"\nISA events seen: {isa_totals['alloc']:.0f} allocs, "
+        f"{isa_totals['free']:.0f} frees, "
+        f"{isa_totals['remap']:.0f} proactive remaps"
+    )
+
+
+if __name__ == "__main__":
+    main()

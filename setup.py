@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build an editable wheel; this
+offline environment lacks it, so ``python setup.py develop`` provides
+the equivalent editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""repro — a reproduction of CHAMELEON (MICRO 2018).
+
+Chameleon is a hardware-software co-designed heterogeneous memory
+system that dynamically reconfigures segment groups between
+Part-of-Memory mode (maximum OS-visible capacity) and cache mode
+(opportunistic use of OS-free space as a hardware-managed stacked-DRAM
+cache), driven by two new ISA instructions the OS issues from its page
+allocator.
+
+Quickstart::
+
+    from repro import (
+        build_workload, benchmark, simulate,
+        ChameleonOptArchitecture, scaled_config,
+    )
+
+    config = scaled_config()              # paper ratios, laptop scale
+    workload = build_workload(config, benchmark("mcf"))
+    arch = ChameleonOptArchitecture(config)
+    result = simulate(arch, workload, accesses_per_core=20_000)
+    print(result.fast_hit_rate, result.geomean_ipc)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.config import (
+    GB,
+    KB,
+    MB,
+    CoreConfig,
+    DramConfig,
+    DramTiming,
+    SystemConfig,
+    offchip_dram,
+    paper_config,
+    ratio_config,
+    scaled_config,
+    stacked_dram,
+)
+from repro.arch import (
+    AlloyCache,
+    CameoArchitecture,
+    FlatMemory,
+    MemoryArchitecture,
+    PoMArchitecture,
+    PolymorphicMemory,
+    StaticHybridMemory,
+)
+from repro.core import (
+    ChameleonArchitecture,
+    ChameleonOptArchitecture,
+    ChameleonSharedPool,
+)
+from repro.sim import AutoNumaMemory, FirstTouchMemory, SimulationResult, simulate
+from repro.workloads import (
+    TABLE2_BENCHMARKS,
+    BenchmarkSpec,
+    MultiprogramWorkload,
+    benchmark,
+    benchmark_names,
+    build_workload,
+)
+from repro.stats import geomean, normalize_to
+from repro.cachesim import CacheHierarchy, CoherentHierarchy
+from repro.dram import system_energy
+from repro.osmodel import BufferCache, MemoryBoundScheduler
+from repro.trace.stats import characterize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "CoreConfig",
+    "DramConfig",
+    "DramTiming",
+    "SystemConfig",
+    "offchip_dram",
+    "paper_config",
+    "ratio_config",
+    "scaled_config",
+    "stacked_dram",
+    "AlloyCache",
+    "CameoArchitecture",
+    "FlatMemory",
+    "MemoryArchitecture",
+    "PoMArchitecture",
+    "PolymorphicMemory",
+    "StaticHybridMemory",
+    "ChameleonArchitecture",
+    "ChameleonOptArchitecture",
+    "ChameleonSharedPool",
+    "AutoNumaMemory",
+    "FirstTouchMemory",
+    "SimulationResult",
+    "simulate",
+    "TABLE2_BENCHMARKS",
+    "BenchmarkSpec",
+    "MultiprogramWorkload",
+    "benchmark",
+    "benchmark_names",
+    "build_workload",
+    "geomean",
+    "normalize_to",
+    "CacheHierarchy",
+    "CoherentHierarchy",
+    "system_energy",
+    "BufferCache",
+    "MemoryBoundScheduler",
+    "characterize",
+    "__version__",
+]

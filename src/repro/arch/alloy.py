@@ -1,0 +1,101 @@
+"""Alloy Cache: the latency-optimised DRAM cache baseline.
+
+Qureshi & Loh (MICRO 2012): the stacked DRAM is a *direct-mapped* cache
+with 64B lines where tag and data are fused into one burst (TAD), so a
+hit costs a single stacked access and a miss costs the stacked probe
+plus the off-chip access plus the fill.  Because the cache duplicates
+data, the OS sees only the off-chip capacity — the capacity loss that
+makes Alloy page-fault on high-footprint workloads (Figure 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import CACHELINE_BYTES, SystemConfig
+from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.stats import CounterSet
+
+
+@dataclass
+class _TadEntry:
+    tag: int
+    dirty: bool = False
+
+
+class AlloyCache(MemoryArchitecture):
+    """Direct-mapped, 64B-line, latency-optimised stacked-DRAM cache."""
+
+    name = "alloy"
+
+    def __init__(self, config: SystemConfig, counters: CounterSet | None = None):
+        super().__init__(config, counters)
+        self._num_sets = config.fast_mem.capacity_bytes // CACHELINE_BYTES
+        if self._num_sets <= 0:
+            raise ValueError("stacked DRAM too small for a single line")
+        # Sparse tag store: set index -> TAD entry.  Only touched sets
+        # are materialised, keeping full-scale configs cheap.
+        self._tads: Dict[int, _TadEntry] = {}
+
+    # ------------------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // CACHELINE_BYTES
+        return line % self._num_sets, line // self._num_sets
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        if not 0 <= address < self.config.slow_mem.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside OS-visible (off-chip) memory"
+            )
+        set_index, tag = self._locate(address)
+        entry = self._tads.get(set_index)
+        cache_address = set_index * CACHELINE_BYTES
+
+        if entry is not None and entry.tag == tag:
+            # TAD hit: one stacked burst returns tag+data.
+            latency = self.memory.fast.access(cache_address, now_ns, is_write)
+            if is_write:
+                entry.dirty = True
+            self.counters.add("alloy.hits")
+            result = AccessResult(latency_ns=latency, fast_hit=True)
+            self.record_access_outcome(result)
+            return result
+
+        # Miss: probe the TAD, then fetch from off-chip memory.  The
+        # probe and the off-chip fetch are launched together (Alloy's
+        # MAP-I style parallel probe), so the miss latency is their max.
+        probe_ns = self.memory.fast.access(cache_address, now_ns, False)
+        mem_ns = self.memory.slow.access(address, now_ns, is_write)
+        latency = max(probe_ns, mem_ns)
+        self.counters.add("alloy.misses")
+
+        # Victim writeback (dirty direct-mapped eviction) — issued
+        # immediately, off the critical path.
+        if entry is not None and entry.dirty:
+            victim_address = entry.tag * self._num_sets * CACHELINE_BYTES + (
+                set_index * CACHELINE_BYTES
+            )
+            self.memory.slow.access(victim_address, now_ns, True)
+            self.counters.add("alloy.writebacks")
+
+        # Fill the line (consumes stacked bandwidth, off the critical path).
+        self.memory.fast.access(cache_address, now_ns, True)
+        self._tads[set_index] = _TadEntry(tag=tag, dirty=is_write)
+        self.counters.add("alloy.fills")
+
+        result = AccessResult(latency_ns=latency, fast_hit=False)
+        self.record_access_outcome(result)
+        return result
+
+    @property
+    def os_visible_bytes(self) -> int:
+        """Caches sacrifice the stacked capacity (Section III-D)."""
+        return self.config.slow_mem.capacity_bytes
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.counters.ratio("alloy.hits", "arch.accesses")

@@ -1,0 +1,97 @@
+"""Common interface of every memory architecture."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.dram import HeterogeneousMemory
+from repro.stats import CounterSet, Histogram
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one 64B memory access presented to an architecture."""
+
+    latency_ns: float
+    fast_hit: bool
+    #: True when the access was served from a swap staging buffer.
+    buffered: bool = False
+
+
+class MemoryArchitecture(abc.ABC):
+    """A heterogeneous (or flat) memory organisation.
+
+    Subclasses translate OS physical addresses into device accesses,
+    manage remapping/caching state, and expose ISA-Alloc/ISA-Free entry
+    points (no-ops for designs without OS co-operation).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, config: SystemConfig, counters: CounterSet | None = None):
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.memory = HeterogeneousMemory(config, self.counters)
+        #: Demand-access latency distribution (ns); exposes the tail
+        #: behaviour that averages hide (swap interference shows up as
+        #: a long tail well before it moves the mean).
+        self.latency_histogram = Histogram(
+            [10, 20, 40, 80, 160, 320, 640, 1280, 2560]
+        )
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        """Service one 64B access at OS physical ``address``."""
+
+    # ------------------------------------------------------------------
+    # OS co-design hooks (default: architecture is OS-agnostic)
+    # ------------------------------------------------------------------
+
+    def isa_alloc(self, segment_id: int) -> None:
+        """The OS allocated segment ``segment_id`` (OS address domain)."""
+
+    def isa_free(self, segment_id: int) -> None:
+        """The OS freed segment ``segment_id`` (OS address domain)."""
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def os_visible_bytes(self) -> int:
+        """Memory capacity the OS can allocate (PoM designs expose both
+        memories; caches hide the fast one)."""
+        return self.config.total_capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Reporting helpers shared by the experiment runners
+    # ------------------------------------------------------------------
+
+    def record_access_outcome(self, result: AccessResult) -> None:
+        self.counters.add("arch.accesses")
+        self.counters.add("arch.latency_ns", result.latency_ns)
+        self.latency_histogram.record(result.latency_ns)
+        if result.fast_hit:
+            self.counters.add("arch.fast_hits")
+
+    @property
+    def fast_hit_rate(self) -> float:
+        """Stacked-DRAM hit rate as reported in Figure 15."""
+        return self.counters.ratio("arch.fast_hits", "arch.accesses")
+
+    @property
+    def average_latency_ns(self) -> float:
+        return self.counters.ratio("arch.latency_ns", "arch.accesses")
+
+    @property
+    def swap_count(self) -> float:
+        """Segment swaps (Figure 17's metric)."""
+        return self.counters["swap.swaps"]

@@ -1,0 +1,35 @@
+"""CAMEO: fine-grain (64B) congruence-group remapping.
+
+Chou, Jaleel & Qureshi (MICRO 2014): like PoM, both memories are
+OS-visible, but the remap granularity is a single cache line and an
+accessed off-chip line is *always* migrated into the stacked slot of
+its congruence group (no access-count threshold) — trading metadata
+overhead and extra data movement for adaptivity.  Discussed by the
+paper (Sections II-C2, V, VII) as the other end of the segment-size
+trade-off; implemented here both for completeness and for the
+segment-size ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.config import CACHELINE_BYTES, SystemConfig
+from repro.arch.pom import PoMArchitecture
+from repro.stats import CounterSet
+
+
+class CameoArchitecture(PoMArchitecture):
+    """PoM machinery at 64B granularity with swap-on-every-miss."""
+
+    name = "cameo"
+
+    def __init__(self, config: SystemConfig, counters: CounterSet | None = None):
+        cameo_config = config.with_segment_bytes(CACHELINE_BYTES)
+        # Threshold 1: the accessed line migrates to the stacked slot
+        # immediately, CAMEO's line-location-table behaviour.
+        super().__init__(cameo_config, swap_threshold=1, counters=counters)
+
+    @property
+    def metadata_entries(self) -> int:
+        """LLT entries required — the overhead CAMEO trades for
+        adaptivity (32768x more ISA traffic per 2MB THP, Section IV)."""
+        return self.geometry.num_groups

@@ -1,0 +1,55 @@
+"""Flat DDR-only baselines (Figure 18's two reference systems)."""
+
+from __future__ import annotations
+
+from repro.config import GB, SystemConfig, offchip_dram
+from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.dram.device import DramDevice
+from repro.stats import CounterSet
+
+
+class FlatMemory(MemoryArchitecture):
+    """A homogeneous off-chip DRAM of a given capacity.
+
+    The paper's ``baseline_20GB_DDR3`` and ``baseline_24GB_DDR3``: no
+    stacked DRAM at all, every access pays the slow-memory timing, and
+    the OS-visible capacity equals the DRAM capacity (so the 20GB
+    variant page-faults on high-footprint workloads while the 24GB one
+    does not).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        capacity_bytes: int | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        capacity = (
+            capacity_bytes
+            if capacity_bytes is not None
+            else config.total_capacity_bytes
+        )
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self.name = f"flat_{capacity // GB}GB" if capacity % GB == 0 else "flat"
+        super().__init__(config, counters)
+        # One big off-chip device with the requested capacity.
+        self._device = DramDevice(
+            offchip_dram(capacity),
+            self.counters,
+        )
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        if not 0 <= address < self._capacity:
+            raise ValueError(f"address {address:#x} outside flat memory")
+        latency = self._device.access(address, now_ns, is_write)
+        result = AccessResult(latency_ns=latency, fast_hit=False)
+        self.record_access_outcome(result)
+        return result
+
+    @property
+    def os_visible_bytes(self) -> int:
+        return self._capacity

@@ -1,0 +1,159 @@
+"""Polymorphic Memory (Chung et al. patent US 2012/0221785).
+
+The Figure 22 comparison point: the hardware leverages OS-visible free
+space *in the stacked DRAM only* as a cache, but — unlike PoM and
+Chameleon — never swaps frequently used off-chip pages into allocated
+stacked segments.  Allocated groups therefore behave like a static flat
+mapping, under-utilising the stacked DRAM, which is why Chameleon beats
+it by 10.5% despite harvesting the same amount of free space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.remap import GroupState, Mode, SegmentGeometry
+from repro.stats import CounterSet
+
+
+class PolymorphicMemory(MemoryArchitecture):
+    """Free stacked segments cache their group; no hot-page swapping."""
+
+    name = "polymorphic"
+
+    def __init__(self, config: SystemConfig, counters: CounterSet | None = None):
+        super().__init__(config, counters)
+        self.geometry = SegmentGeometry.from_config(config)
+        self._groups: Dict[int, GroupState] = {}
+
+    def group_state(self, group: int) -> GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            # Boot state: nothing allocated, stacked slot free => cache.
+            state = GroupState(
+                size=self.geometry.segments_per_group, mode=Mode.CACHE
+            )
+            self._groups[group] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # ISA hooks (the patent's OS co-operation)
+    # ------------------------------------------------------------------
+
+    def isa_alloc(self, segment_id: int) -> None:
+        group, local = self.geometry.group_and_local(segment_id)
+        state = self.group_state(group)
+        state.abv[local] = True
+        if local == 0:
+            # Stacked segment claimed: stop caching (writeback if dirty).
+            if state.cached is not None and state.dirty:
+                self._writeback(group, state, 0.0)
+            state.cached = None
+            state.dirty = False
+            state.mode = Mode.POM
+            self.counters.add("polymorphic.to_static")
+
+    def isa_free(self, segment_id: int) -> None:
+        group, local = self.geometry.group_and_local(segment_id)
+        state = self.group_state(group)
+        state.abv[local] = False
+        if local == 0 and state.mode is not Mode.CACHE:
+            state.mode = Mode.CACHE
+            state.cached = None
+            state.dirty = False
+            self.counters.add("polymorphic.to_cache")
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        segment = self.geometry.segment_of(address)
+        group, local = self.geometry.group_and_local(segment)
+        offset = address % self.geometry.segment_bytes
+        state = self.group_state(group)
+
+        if local == 0:
+            # Static mapping: the stacked segment always lives in slot 0.
+            in_fast, device_address = self.geometry.slot_device_address(
+                group, 0, offset
+            )
+            latency = self.memory.access(
+                in_fast, device_address, now_ns, is_write, segment_id=segment
+            )
+            result = AccessResult(latency_ns=latency, fast_hit=True)
+            self.record_access_outcome(result)
+            return result
+
+        if state.mode is Mode.CACHE and state.cached == local:
+            _, cache_address = self.geometry.slot_device_address(
+                group, 0, offset
+            )
+            latency = self.memory.access(
+                True, cache_address, now_ns, is_write, segment_id=segment
+            )
+            if is_write:
+                state.dirty = True
+            self.counters.add("polymorphic.cache_hits")
+            result = AccessResult(latency_ns=latency, fast_hit=True)
+            self.record_access_outcome(result)
+            return result
+
+        # Off-chip access at the segment's home location.
+        in_fast, device_address = self.geometry.slot_device_address(
+            group, local, offset
+        )
+        latency = self.memory.access(
+            in_fast, device_address, now_ns, is_write, segment_id=segment
+        )
+        if state.mode is Mode.CACHE:
+            self._fill(group, state, local, now_ns)
+        result = AccessResult(latency_ns=latency, fast_hit=False)
+        self.record_access_outcome(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _fill(
+        self, group: int, state: GroupState, local: int, now_ns: float
+    ) -> None:
+        """Cache the just-accessed off-chip segment in the free slot 0."""
+        writeback = state.cached is not None and state.dirty
+        _, fast_address = self.geometry.slot_device_address(group, 0, 0)
+        _, slow_address = self.geometry.slot_device_address(group, local, 0)
+        self.memory.start_fill(
+            fast_address=fast_address,
+            slow_address=slow_address,
+            now_ns=now_ns,
+            slow_segment_id=self.geometry.segment_at(group, local),
+            writeback=writeback,
+        )
+        state.cached = local
+        state.dirty = False
+        self.counters.add("polymorphic.fills")
+
+    def _writeback(self, group: int, state: GroupState, now_ns: float) -> None:
+        assert state.cached is not None
+        _, fast_address = self.geometry.slot_device_address(group, 0, 0)
+        _, slow_address = self.geometry.slot_device_address(
+            group, state.cached, 0
+        )
+        segment_bytes = self.geometry.segment_bytes
+        self.memory.fast.transfer(fast_address, segment_bytes, now_ns)
+        self.memory.slow.transfer(slow_address, segment_bytes, now_ns)
+        self.counters.add("polymorphic.writebacks")
+
+    # ------------------------------------------------------------------
+
+    def cache_mode_fraction(self) -> float:
+        """Fraction of touched groups currently in cache mode."""
+        if not self._groups:
+            return 0.0
+        in_cache = sum(
+            1 for state in self._groups.values() if state.mode is Mode.CACHE
+        )
+        return in_cache / len(self._groups)

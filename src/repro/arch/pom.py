@@ -1,0 +1,129 @@
+"""Hardware-managed Part of Memory (Sim et al., MICRO 2014).
+
+The paper's baseline: both memories are OS-visible, 2KB segments are
+remapped within segment groups via the SRT, and a per-group *shared
+competing counter* decides when a frequently accessed off-chip segment
+should swap with the group's stacked-DRAM resident.  Swaps move whole
+segments in both directions (the fast-swap local buffers service
+in-transit accesses) and are issued regardless of whether the data is
+allocated — PoM is free-space agnostic, which is precisely the waste
+Chameleon removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.remap import GroupState, Mode, SegmentGeometry
+from repro.stats import CounterSet
+
+#: Default minimum number of competing-counter wins before a swap
+#: (Section III-E: PoM gates swaps behind an access-count threshold).
+DEFAULT_SWAP_THRESHOLD = 4
+
+#: Group accesses after a swap during which the counter may not trigger
+#: another swap in the same group — the trace-level analogue of the PoM
+#: baseline's epoch-gated remapping decisions.
+DEFAULT_SWAP_COOLDOWN = 64
+
+
+class PoMArchitecture(MemoryArchitecture):
+    """PoM with segment-restricted remapping and competing counters."""
+
+    name = "pom"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        swap_threshold: int = DEFAULT_SWAP_THRESHOLD,
+        swap_cooldown: int = DEFAULT_SWAP_COOLDOWN,
+        counters: CounterSet | None = None,
+    ) -> None:
+        if swap_threshold < 1:
+            raise ValueError("swap threshold must be >= 1")
+        if swap_cooldown < 0:
+            raise ValueError("swap cooldown must be >= 0")
+        super().__init__(config, counters)
+        self.swap_threshold = swap_threshold
+        self.swap_cooldown = swap_cooldown
+        self.geometry = SegmentGeometry.from_config(config)
+        self._groups: Dict[int, GroupState] = {}
+
+    # ------------------------------------------------------------------
+
+    def group_state(self, group: int) -> GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            state = GroupState(
+                size=self.geometry.segments_per_group, mode=Mode.POM
+            )
+            self._groups[group] = state
+        return state
+
+    def _device_location(
+        self, group: int, slot: int, offset: int
+    ) -> tuple[bool, int]:
+        return self.geometry.slot_device_address(group, slot, offset)
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        segment = self.geometry.segment_of(address)
+        group, local = self.geometry.group_and_local(segment)
+        offset = address % self.geometry.segment_bytes
+        state = self.group_state(group)
+
+        slot = state.slot_of[local]
+        in_fast, device_address = self._device_location(group, slot, offset)
+        latency = self.memory.access(
+            in_fast, device_address, now_ns, is_write, segment_id=segment
+        )
+        if not in_fast:
+            self._update_counter(group, state, local, now_ns)
+        result = AccessResult(latency_ns=latency, fast_hit=in_fast)
+        self.record_access_outcome(result)
+        return result
+
+    def _update_counter(
+        self, group: int, state: GroupState, local: int, now_ns: float
+    ) -> None:
+        """Shared competing counter (majority-element style)."""
+        if state.cooldown > 0:
+            state.cooldown -= 1
+            return
+        if state.candidate == local:
+            state.count += 1
+        else:
+            state.count -= 1
+            if state.count <= 0:
+                state.candidate = local
+                state.count = 1
+        if state.candidate == local and state.count >= self.swap_threshold:
+            self._swap_with_fast(group, state, local, now_ns)
+            state.candidate = None
+            state.count = 0
+            state.cooldown = self.swap_cooldown
+
+    def _swap_with_fast(
+        self, group: int, state: GroupState, local: int, now_ns: float
+    ) -> None:
+        """Swap ``local`` (off-chip) with the stacked-slot resident."""
+        slot = state.slot_of[local]
+        if slot == 0:
+            return
+        _, fast_address = self._device_location(group, 0, 0)
+        _, slow_address = self._device_location(group, slot, 0)
+        fast_resident = state.resident_of_fast()
+        self.memory.start_swap(
+            fast_address=fast_address,
+            slow_address=slow_address,
+            now_ns=now_ns,
+            fast_segment_id=self.geometry.segment_at(group, fast_resident),
+            slow_segment_id=self.geometry.segment_at(group, local),
+        )
+        state.swap_slots(0, slot)
+        self.counters.add("pom.swaps")

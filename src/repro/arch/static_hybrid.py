@@ -1,0 +1,126 @@
+"""KNL-style statically partitioned hybrid memory (Section II-C3).
+
+Knights Landing's MC-DRAM supports boot-time modes: 100% cache, 100%
+OS-visible flat memory, or static hybrids with 25% or 50% of the
+stacked DRAM operating as cache and the rest as memory.  The partition
+is fixed until reboot — exactly the rigidity Chameleon's dynamic
+per-segment-group reconfiguration removes.
+
+:class:`StaticHybridMemory` models one such boot configuration: the
+cache share of the stacked DRAM is a direct-mapped 64B-line cache over
+the OS-visible space (like Alloy), the remaining share is OS-visible
+fast memory appended below the off-chip range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import CACHELINE_BYTES, SystemConfig
+from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.stats import CounterSet
+
+
+@dataclass
+class _TadEntry:
+    tag: int
+    dirty: bool = False
+
+
+class StaticHybridMemory(MemoryArchitecture):
+    """A boot-time split of the stacked DRAM into cache + flat memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cache_fraction: float = 0.5,
+        counters: CounterSet | None = None,
+    ) -> None:
+        if not 0.0 <= cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in [0, 1]")
+        super().__init__(config, counters)
+        self.cache_fraction = cache_fraction
+        fast = config.fast_mem.capacity_bytes
+        # The cache partition occupies the low stacked addresses.
+        self._cache_bytes = (
+            int(fast * cache_fraction) // CACHELINE_BYTES * CACHELINE_BYTES
+        )
+        self._flat_fast_bytes = fast - self._cache_bytes
+        self._num_sets = self._cache_bytes // CACHELINE_BYTES
+        self._tads: Dict[int, _TadEntry] = {}
+        self.name = f"knl_hybrid_{int(round(cache_fraction * 100))}"
+
+    # ------------------------------------------------------------------
+
+    @property
+    def os_visible_bytes(self) -> int:
+        """The memory partition of the stacked DRAM plus the off-chip."""
+        return self._flat_fast_bytes + self.config.slow_mem.capacity_bytes
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> AccessResult:
+        if not 0 <= address < self.os_visible_bytes:
+            raise ValueError(
+                f"address {address:#x} outside OS-visible memory"
+            )
+        if address < self._flat_fast_bytes:
+            # Static fast partition: always a stacked hit, never cached.
+            device_address = self._cache_bytes + address
+            latency = self.memory.fast.access(device_address, now_ns, is_write)
+            result = AccessResult(latency_ns=latency, fast_hit=True)
+            self.record_access_outcome(result)
+            return result
+
+        slow_address = address - self._flat_fast_bytes
+        if self._num_sets == 0:
+            latency = self.memory.slow.access(slow_address, now_ns, is_write)
+            result = AccessResult(latency_ns=latency, fast_hit=False)
+            self.record_access_outcome(result)
+            return result
+
+        line = address // CACHELINE_BYTES
+        set_index = line % self._num_sets
+        tag = line // self._num_sets
+        cache_address = set_index * CACHELINE_BYTES
+        entry = self._tads.get(set_index)
+
+        if entry is not None and entry.tag == tag:
+            latency = self.memory.fast.access(cache_address, now_ns, is_write)
+            if is_write:
+                entry.dirty = True
+            self.counters.add("knl.cache_hits")
+            result = AccessResult(latency_ns=latency, fast_hit=True)
+            self.record_access_outcome(result)
+            return result
+
+        probe_ns = self.memory.fast.access(cache_address, now_ns, False)
+        mem_ns = self.memory.slow.access(slow_address, now_ns, is_write)
+        latency = max(probe_ns, mem_ns)
+        self.counters.add("knl.cache_misses")
+        if entry is not None and entry.dirty:
+            victim_line = entry.tag * self._num_sets + set_index
+            victim_address = victim_line * CACHELINE_BYTES
+            if victim_address >= self._flat_fast_bytes:
+                self.memory.slow.access(
+                    victim_address - self._flat_fast_bytes, now_ns, True
+                )
+            self.counters.add("knl.writebacks")
+        self.memory.fast.access(cache_address, now_ns, True)
+        self._tads[set_index] = _TadEntry(tag=tag, dirty=is_write)
+        result = AccessResult(latency_ns=latency, fast_hit=False)
+        self.record_access_outcome(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_bytes(self) -> int:
+        return self._cache_bytes
+
+    @property
+    def flat_fast_bytes(self) -> int:
+        return self._flat_fast_bytes

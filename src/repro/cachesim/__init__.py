@@ -1,0 +1,26 @@
+"""SRAM cache-hierarchy substrate (L1 / L2 / shared L3).
+
+The paper filters memory traffic through a conventional three-level
+hierarchy (Table I) before it reaches the heterogeneous memory system;
+Table II characterises each benchmark by its LLC misses per kilo
+instruction (MPKI).  This package provides a functional set-associative
+cache model used to (a) derive LLC-miss streams from raw address traces
+and (b) regenerate Table II from the synthetic workloads.
+"""
+
+from repro.cachesim.cache import Cache, AccessOutcome
+from repro.cachesim.replacement import LruPolicy, RandomPolicy, ReplacementPolicy
+from repro.cachesim.hierarchy import CacheHierarchy, HierarchyResult
+from repro.cachesim.coherence import CoherentHierarchy, MesiState
+
+__all__ = [
+    "Cache",
+    "AccessOutcome",
+    "CacheHierarchy",
+    "CoherentHierarchy",
+    "HierarchyResult",
+    "LruPolicy",
+    "MesiState",
+    "RandomPolicy",
+    "ReplacementPolicy",
+]

@@ -1,0 +1,131 @@
+"""A single set-associative, write-back, write-allocate cache."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import CacheLevelConfig
+from repro.cachesim.replacement import LruPolicy, ReplacementPolicy
+from repro.stats import CounterSet
+
+
+class AccessOutcome(enum.Enum):
+    HIT = "hit"
+    MISS = "miss"
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim line pushed out by a fill."""
+
+    address: int
+    dirty: bool
+
+
+class Cache:
+    """Functional set-associative cache.
+
+    ``access`` returns the outcome plus any eviction the fill caused, so
+    a hierarchy can propagate misses downward and writebacks outward.
+    """
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        name: str = "cache",
+        policy: ReplacementPolicy | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.policy = policy if policy is not None else LruPolicy()
+        self.counters = counters if counters is not None else CounterSet()
+        self._num_sets = config.num_sets
+        self._ways = config.associativity
+        # set index -> way -> line
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self._num_sets)]
+        # per-set recency state (list of way ids)
+        self._recency: List[List[int]] = [[] for _ in range(self._num_sets)]
+
+    def _index_tag(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self._num_sets, line // self._num_sets
+
+    def _line_address(self, set_index: int, tag: int) -> int:
+        return (tag * self._num_sets + set_index) * self.config.line_bytes
+
+    def lookup(self, address: int) -> bool:
+        """Presence check without state update."""
+        set_index, tag = self._index_tag(address)
+        return any(
+            line.tag == tag for line in self._sets[set_index].values()
+        )
+
+    def access(
+        self, address: int, is_write: bool = False
+    ) -> tuple[AccessOutcome, Optional[Eviction]]:
+        """Access one line; fills on miss (write-allocate)."""
+        set_index, tag = self._index_tag(address)
+        ways = self._sets[set_index]
+        for way, line in ways.items():
+            if line.tag == tag:
+                self.policy.on_access(self._recency[set_index], way)
+                if is_write:
+                    line.dirty = True
+                self.counters.add(f"{self.name}.hits")
+                return AccessOutcome.HIT, None
+
+        self.counters.add(f"{self.name}.misses")
+        eviction = self._fill(set_index, tag, is_write)
+        return AccessOutcome.MISS, eviction
+
+    def _fill(self, set_index: int, tag: int, dirty: bool) -> Optional[Eviction]:
+        ways = self._sets[set_index]
+        eviction: Optional[Eviction] = None
+        if len(ways) >= self._ways:
+            victim_way = self.policy.victim(self._recency[set_index])
+            victim = ways.pop(victim_way)
+            self._recency[set_index].remove(victim_way)
+            eviction = Eviction(
+                address=self._line_address(set_index, victim.tag),
+                dirty=victim.dirty,
+            )
+            if victim.dirty:
+                self.counters.add(f"{self.name}.writebacks")
+            way = victim_way
+        else:
+            way = next(w for w in range(self._ways) if w not in ways)
+        ways[way] = _Line(tag=tag, dirty=dirty)
+        self.policy.on_access(self._recency[set_index], way)
+        self.counters.add(f"{self.name}.fills")
+        return eviction
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present (no writeback); returns whether it was."""
+        set_index, tag = self._index_tag(address)
+        ways = self._sets[set_index]
+        for way, line in list(ways.items()):
+            if line.tag == tag:
+                del ways[way]
+                self._recency[set_index].remove(way)
+                self.counters.add(f"{self.name}.invalidations")
+                return True
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.counters[f"{self.name}.hits"]
+        total = hits + self.counters[f"{self.name}.misses"]
+        return hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,220 @@
+"""MESI coherence across the private caches (Table I: the shared L3 is
+kept coherent with a MESI protocol).
+
+The model is functional, directory-based, and sits on top of the plain
+:class:`~repro.cachesim.cache.Cache` storage:
+
+* each 64B line present in any private (L1/L2) cache has a directory
+  entry recording its global state (M/E/S) and the sharer set;
+* a read miss joins the sharer set — downgrading a remote Modified
+  owner (forcing its writeback) if necessary — and loads Exclusive when
+  it is the only sharer;
+* a write invalidates every other sharer's private copies and takes the
+  line to Modified;
+* private-cache evictions silently leave the sharer set, and the last
+  leaver removes the entry.
+
+The controller counts the coherence traffic (invalidations, downgrades,
+ownership writebacks) that a multiprogrammed rate-mode workload mostly
+avoids (disjoint footprints) but shared-memory workloads pay.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.config import SystemConfig
+from repro.cachesim.cache import AccessOutcome, Cache
+from repro.stats import CounterSet
+from repro.trace.records import AccessRecord
+
+
+class MesiState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """Global coherence state of one line across the private caches."""
+
+    state: MesiState
+    sharers: Set[int] = field(default_factory=set)
+    owner: int | None = None  # valid when state is M or E
+
+    def validate(self) -> None:
+        if self.state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            if self.owner is None or self.sharers != {self.owner}:
+                raise AssertionError(
+                    f"{self.state.value} line must have exactly its owner "
+                    f"as sharer (owner={self.owner}, sharers={self.sharers})"
+                )
+        elif self.state is MesiState.SHARED:
+            if not self.sharers:
+                raise AssertionError("shared line with no sharers")
+            if self.owner is not None:
+                raise AssertionError("shared line cannot have an owner")
+
+
+class CoherentHierarchy:
+    """Private L1+L2 per core with a MESI directory and a shared L3."""
+
+    LINE_BYTES = 64
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        num_cores: int | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        cores = num_cores if num_cores is not None else config.num_cores
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = cores
+        self.l1: List[Cache] = [
+            Cache(config.l1, f"l1.{core}", counters=self.counters)
+            for core in range(cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(config.l2, f"l2.{core}", counters=self.counters)
+            for core in range(cores)
+        ]
+        self.l3 = Cache(config.l3, "l3", counters=self.counters)
+        self._directory: Dict[int, DirectoryEntry] = {}
+
+    # ------------------------------------------------------------------
+
+    def _line(self, address: int) -> int:
+        return address // self.LINE_BYTES
+
+    def _drop_private(self, core: int, address: int) -> None:
+        self.l1[core].invalidate(address)
+        self.l2[core].invalidate(address)
+
+    def _leave(self, line: int, core: int) -> None:
+        """Remove ``core`` from a line's sharer set (private eviction)."""
+        entry = self._directory.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if not entry.sharers:
+            del self._directory[line]
+            return
+        if entry.owner == core:
+            # The owner evicted: remaining sharers hold it Shared.
+            entry.owner = None
+            entry.state = MesiState.SHARED
+
+    def _note_private_evictions(self, core: int, evictions) -> None:
+        for eviction in evictions:
+            if eviction is not None:
+                self._leave(self._line(eviction.address), core)
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, core: int, address: int, is_write: bool = False
+    ) -> tuple[bool, List[AccessRecord]]:
+        """One coherent access; returns (llc_miss, memory_records)."""
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+        line = self._line(address)
+        memory: List[AccessRecord] = []
+        entry = self._directory.get(line)
+
+        if is_write:
+            self._handle_write_coherence(core, line, address, entry)
+        else:
+            self._handle_read_coherence(core, line, address, entry)
+
+        # Storage path: private caches then the shared L3.
+        outcome1, ev1 = self.l1[core].access(address, is_write)
+        if outcome1 is AccessOutcome.MISS:
+            outcome2, ev2 = self.l2[core].access(address, is_write)
+            self._note_private_evictions(core, (ev1, ev2))
+            if outcome2 is AccessOutcome.MISS:
+                outcome3, ev3 = self.l3.access(address, is_write)
+                if outcome3 is AccessOutcome.MISS:
+                    memory.append(
+                        AccessRecord(address, is_write=False, icount_gap=0)
+                    )
+                    if ev3 is not None and ev3.dirty:
+                        memory.append(
+                            AccessRecord(
+                                ev3.address, is_write=True, icount_gap=0
+                            )
+                        )
+                    return True, memory
+        else:
+            self._note_private_evictions(core, (ev1,))
+        return False, memory
+
+    # ------------------------------------------------------------------
+
+    def _handle_read_coherence(
+        self, core: int, line: int, address: int, entry: DirectoryEntry | None
+    ) -> None:
+        if entry is None:
+            self._directory[line] = DirectoryEntry(
+                state=MesiState.EXCLUSIVE, sharers={core}, owner=core
+            )
+            self.counters.add("mesi.loads_exclusive")
+            return
+        if core in entry.sharers:
+            return  # already coherent for reads
+        if entry.state is MesiState.MODIFIED:
+            # Downgrade the remote owner: it writes back and keeps S.
+            assert entry.owner is not None
+            self.counters.add("mesi.downgrades")
+            self.counters.add("mesi.ownership_writebacks")
+        entry.state = MesiState.SHARED
+        entry.owner = None
+        entry.sharers.add(core)
+        self.counters.add("mesi.loads_shared")
+
+    def _handle_write_coherence(
+        self, core: int, line: int, address: int, entry: DirectoryEntry | None
+    ) -> None:
+        if entry is None:
+            self._directory[line] = DirectoryEntry(
+                state=MesiState.MODIFIED, sharers={core}, owner=core
+            )
+            return
+        if entry.state is MesiState.MODIFIED and entry.owner == core:
+            return  # silent write hit in M
+        # Invalidate every other sharer's private copies.
+        invalidated = 0
+        for sharer in list(entry.sharers):
+            if sharer != core:
+                self._drop_private(sharer, address)
+                entry.sharers.discard(sharer)
+                invalidated += 1
+        if invalidated:
+            self.counters.add("mesi.invalidations", invalidated)
+            self.counters.add("mesi.upgrades")
+        if entry.state is MesiState.MODIFIED and entry.owner != core:
+            self.counters.add("mesi.ownership_writebacks")
+        entry.state = MesiState.MODIFIED
+        entry.sharers = {core}
+        entry.owner = core
+
+    # ------------------------------------------------------------------
+
+    def state_of(self, address: int) -> MesiState:
+        entry = self._directory.get(self._line(address))
+        return entry.state if entry is not None else MesiState.INVALID
+
+    def sharers_of(self, address: int) -> Set[int]:
+        entry = self._directory.get(self._line(address))
+        return set(entry.sharers) if entry is not None else set()
+
+    def validate(self) -> None:
+        """Directory-wide invariant check (used by property tests)."""
+        for entry in self._directory.values():
+            entry.validate()

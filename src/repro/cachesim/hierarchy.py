@@ -1,0 +1,132 @@
+"""Three-level cache hierarchy (private L1/L2, shared L3).
+
+Filters a raw address stream down to the LLC-miss stream that the
+heterogeneous memory system services, and measures MPKI (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.config import SystemConfig
+from repro.cachesim.cache import Cache, AccessOutcome
+from repro.stats import CounterSet
+from repro.trace.records import AccessRecord
+
+
+@dataclass
+class HierarchyResult:
+    """Summary of a stream filtered through the hierarchy."""
+
+    instructions: int = 0
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    llc_misses: int = 0
+    llc_writebacks: int = 0
+
+    @property
+    def llc_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.llc_misses / self.instructions * 1000.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.llc_misses / self.accesses
+
+
+class CacheHierarchy:
+    """Private L1+L2 per core, shared L3; inclusive-enough for tracing.
+
+    The model is functional (no timing): its job is to decide which
+    accesses reach memory.  ``filter_stream`` yields the LLC-miss
+    records (demand misses plus dirty LLC writebacks as writes) with
+    ``icount_gap`` re-aggregated so MPKI is preserved.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        num_cores: int | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        cores = num_cores if num_cores is not None else config.num_cores
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.l1: List[Cache] = [
+            Cache(config.l1, f"l1.{core}", counters=self.counters)
+            for core in range(cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(config.l2, f"l2.{core}", counters=self.counters)
+            for core in range(cores)
+        ]
+        self.l3 = Cache(config.l3, "l3", counters=self.counters)
+
+    def access(
+        self, core: int, address: int, is_write: bool = False
+    ) -> tuple[bool, List[AccessRecord]]:
+        """One access from ``core``.
+
+        Returns ``(llc_miss, memory_records)`` where ``memory_records``
+        are the accesses that reach DRAM (the demand miss and any dirty
+        LLC writeback).
+        """
+        memory: List[AccessRecord] = []
+        outcome, _ = self.l1[core].access(address, is_write)
+        if outcome is AccessOutcome.HIT:
+            return False, memory
+        outcome, _ = self.l2[core].access(address, is_write)
+        if outcome is AccessOutcome.HIT:
+            return False, memory
+        outcome, eviction = self.l3.access(address, is_write)
+        if outcome is AccessOutcome.HIT:
+            return False, memory
+        memory.append(AccessRecord(address, is_write=False, icount_gap=0))
+        if eviction is not None and eviction.dirty:
+            memory.append(
+                AccessRecord(eviction.address, is_write=True, icount_gap=0)
+            )
+        return True, memory
+
+    def filter_stream(
+        self, core: int, records: Iterable[AccessRecord]
+    ) -> Iterator[AccessRecord]:
+        """Yield only the records that miss the whole hierarchy.
+
+        The instruction gaps of hit records are folded into the next
+        miss so the downstream MPKI is exact.
+        """
+        pending_gap = 0
+        for record in records:
+            pending_gap += record.icount_gap
+            miss, memory = self.access(core, record.address, record.is_write)
+            if not miss:
+                continue
+            for index, mem_record in enumerate(memory):
+                gap = pending_gap if index == 0 else 0
+                yield AccessRecord(mem_record.address, mem_record.is_write, gap)
+            pending_gap = 0
+
+    def measure(
+        self, core: int, records: Iterable[AccessRecord]
+    ) -> HierarchyResult:
+        """Run a stream through the hierarchy and report Table II stats."""
+        result = HierarchyResult()
+        before = self.counters.snapshot()
+        for record in records:
+            result.instructions += record.icount_gap
+            result.accesses += 1
+            self.access(core, record.address, record.is_write)
+        delta = self.counters.diff(before)
+        result.l1_misses = int(delta.get(f"l1.{core}.misses", 0))
+        result.l2_misses = int(delta.get(f"l2.{core}.misses", 0))
+        result.llc_misses = int(delta.get("l3.misses", 0))
+        result.llc_writebacks = int(delta.get("l3.writebacks", 0))
+        return result

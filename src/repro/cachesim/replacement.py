@@ -1,0 +1,49 @@
+"""Replacement policies for the set-associative cache model."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Per-set victim selection and recency bookkeeping."""
+
+    def on_access(self, set_state: List[int], way: int) -> None:
+        """Record a hit/fill touching ``way``."""
+
+    def victim(self, set_state: List[int]) -> int:
+        """Choose the way to evict from a full set."""
+
+
+class LruPolicy:
+    """Least-recently-used: ``set_state`` holds ways in recency order,
+    most recent last."""
+
+    def on_access(self, set_state: List[int], way: int) -> None:
+        try:
+            set_state.remove(way)
+        except ValueError:
+            pass
+        set_state.append(way)
+
+    def victim(self, set_state: List[int]) -> int:
+        if not set_state:
+            raise ValueError("victim() on an empty set")
+        return set_state[0]
+
+
+class RandomPolicy:
+    """Uniform random victim; deterministic under a seeded RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_access(self, set_state: List[int], way: int) -> None:
+        if way not in set_state:
+            set_state.append(way)
+
+    def victim(self, set_state: List[int]) -> int:
+        if not set_state:
+            raise ValueError("victim() on an empty set")
+        return self._rng.choice(set_state)

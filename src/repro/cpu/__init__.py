@@ -1,0 +1,20 @@
+"""Analytic out-of-order core timing and multiprogram aggregation.
+
+The substitution for GEM5's OoO cores: a first-order timing model in
+which a core's cycle count is its base pipeline time plus its memory
+stall time divided by the core's memory-level parallelism.  This is the
+standard interval/stall analytic model and preserves exactly the
+relationships the paper's evaluation depends on — IPC falls with average
+memory access latency and with page-fault stalls, and the geometric mean
+of per-application IPCs (Section VI-A) summarises a workload.
+"""
+
+from repro.cpu.core import CoreTimingModel, CoreRunStats
+from repro.cpu.multicore import MulticoreModel, WorkloadPerformance
+
+__all__ = [
+    "CoreTimingModel",
+    "CoreRunStats",
+    "MulticoreModel",
+    "WorkloadPerformance",
+]

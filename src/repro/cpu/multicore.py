@@ -1,0 +1,73 @@
+"""Multiprogram (rate-mode) performance aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.config import SystemConfig
+from repro.cpu.core import CoreRunStats, CoreTimingModel
+from repro.stats import geomean
+
+
+@dataclass
+class WorkloadPerformance:
+    """Per-workload performance summary (Section VI-A reporting)."""
+
+    name: str
+    per_core_ipc: List[float]
+    average_latency_ns: float
+    page_faults: int
+
+    @property
+    def geomean_ipc(self) -> float:
+        return geomean(self.per_core_ipc)
+
+    @property
+    def min_ipc(self) -> float:
+        return min(self.per_core_ipc)
+
+    @property
+    def max_ipc(self) -> float:
+        return max(self.per_core_ipc)
+
+
+class MulticoreModel:
+    """Aggregates per-core stats into the paper's workload metrics."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.core_model = CoreTimingModel(config.core)
+
+    def summarize(
+        self, name: str, per_core: Sequence[CoreRunStats]
+    ) -> WorkloadPerformance:
+        if not per_core:
+            raise ValueError("workload has no cores")
+        ipcs = [self.core_model.ipc(stats) for stats in per_core]
+        accesses = sum(stats.memory_accesses for stats in per_core)
+        latency = sum(stats.memory_latency_ns for stats in per_core)
+        faults = sum(stats.page_faults for stats in per_core)
+        return WorkloadPerformance(
+            name=name,
+            per_core_ipc=ipcs,
+            average_latency_ns=latency / accesses if accesses else 0.0,
+            page_faults=faults,
+        )
+
+    def normalized_ipc(
+        self,
+        runs: Dict[str, WorkloadPerformance],
+        baseline: str,
+    ) -> Dict[str, float]:
+        """Geomean IPC of every run normalised to ``baseline``."""
+        if baseline not in runs:
+            raise KeyError(f"baseline {baseline!r} not among runs")
+        base = runs[baseline].geomean_ipc
+        return {name: perf.geomean_ipc / base for name, perf in runs.items()}
+
+    def average_latency_cycles(self, perf: WorkloadPerformance) -> float:
+        """Average memory access latency in CPU cycles (Figure 19)."""
+        return (
+            perf.average_latency_ns * 1e-9 * self.config.core.frequency_hz
+        )

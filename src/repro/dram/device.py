@@ -1,0 +1,161 @@
+"""A DRAM device: address mapping, banks, channel data buses, refresh.
+
+The device services two kinds of traffic:
+
+* ``access`` — a 64B demand read/write (one burst on one channel);
+* ``transfer`` — a bulk multi-burst transfer used for segment swaps;
+  it occupies the channel data bus back-to-back and streams through
+  banks row by row, which is what makes concurrent demand accesses
+  observe queueing delay (swap interference).
+
+Refresh is modelled statistically: each access is inflated by the
+device's refresh duty factor ``tRFC / tREFI``, the standard closed-form
+approximation for refresh-induced unavailability.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramConfig, CACHELINE_BYTES
+from repro.dram.bank import Bank
+from repro.stats import CounterSet
+
+
+class DramDevice:
+    """One memory (stacked or off-chip) with Table I organisation."""
+
+    def __init__(self, config: DramConfig, counters: CounterSet | None = None):
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self._scope = f"dram.{config.name}"
+        self._banks = [
+            Bank(config.timing, config.bus_frequency_hz)
+            for _ in range(config.total_banks)
+        ]
+        self._channel_free_ns = [0.0] * config.channels
+        timing = config.timing
+        self._refresh_factor = 1.0 + timing.tRFC_ns / timing.tREFI_ns
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def map_address(self, address: int) -> tuple[int, int, int]:
+        """Map a device-local byte address to (channel, bank, row).
+
+        Channels interleave at cache-line granularity for bandwidth;
+        banks interleave at row granularity for bank-level parallelism.
+        """
+        if address < 0 or address >= self.config.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside {self.config.name} device "
+                f"(capacity {self.config.capacity_bytes:#x})"
+            )
+        line = address // CACHELINE_BYTES
+        channel = line % self.config.channels
+        row_global = address // self.config.row_bytes
+        banks_per_channel = (
+            self.config.ranks_per_channel * self.config.banks_per_rank
+        )
+        bank_in_channel = row_global % banks_per_channel
+        bank = channel * banks_per_channel + bank_in_channel
+        row = row_global // banks_per_channel
+        return channel, bank, row
+
+    # ------------------------------------------------------------------
+    # Demand accesses
+    # ------------------------------------------------------------------
+
+    def access(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> float:
+        """Service one 64B access; returns its latency in ns."""
+        channel, bank_index, row = self.map_address(address)
+        bank = self._banks[bank_index]
+        data_ready_ns, result = bank.access(row, now_ns)
+        # The data bus is only occupied for the burst itself; bank
+        # preparation (ACT/PRE) overlaps with other banks' bursts.
+        burst_ns = self.config.burst_time_ns(CACHELINE_BYTES)
+        burst_start_ns = max(data_ready_ns, self._channel_free_ns[channel])
+        finish_ns = burst_start_ns + burst_ns
+        self._channel_free_ns[channel] = finish_ns
+        latency_ns = (finish_ns - now_ns) * self._refresh_factor
+
+        self.counters.add(f"{self._scope}.accesses")
+        self.counters.add(f"{self._scope}.bytes", CACHELINE_BYTES)
+        self.counters.add(
+            f"{self._scope}.writes" if is_write else f"{self._scope}.reads"
+        )
+        self.counters.add(f"{self._scope}.row_{result.value}")
+        self.counters.add(f"{self._scope}.busy_ns", burst_ns)
+        return latency_ns
+
+    # ------------------------------------------------------------------
+    # Bulk transfers (segment swaps / cache fills)
+    # ------------------------------------------------------------------
+
+    def transfer(self, address: int, num_bytes: int, now_ns: float) -> float:
+        """Stream ``num_bytes`` starting at ``address``; returns finish time.
+
+        The transfer is issued as back-to-back cache-line bursts.  It
+        holds the channel data bus, so demand accesses arriving during
+        the transfer queue behind it — the swap-interference mechanism.
+        """
+        if num_bytes <= 0:
+            raise ValueError("transfer size must be positive")
+        _, bank_index, row = self.map_address(address)
+        bank = self._banks[bank_index]
+        # Opening cost: the first access in the streamed region.
+        data_ready_ns, result = bank.access(row, now_ns)
+        # Lines interleave across channels (same mapping as demand
+        # accesses), so the stream splits evenly over every channel and
+        # runs at the full device rate; within each channel the open row
+        # streams back-to-back (a 2KB segment is one row in Table I).
+        channels = self.config.channels
+        per_channel_bytes = -(-num_bytes // channels)  # ceil division
+        rows_touched = max(1, -(-num_bytes // self.config.row_bytes))
+        extra_opens = (rows_touched - 1) * self.config.timing.row_miss_cycles
+        extra_open_ns = extra_opens / self.config.bus_frequency_hz * 1e9
+        stream_ns = self.config.burst_time_ns(per_channel_bytes) + extra_open_ns
+        finish_ns = data_ready_ns
+        for channel in range(channels):
+            burst_start_ns = max(
+                data_ready_ns, self._channel_free_ns[channel]
+            )
+            channel_finish_ns = burst_start_ns + stream_ns
+            self._channel_free_ns[channel] = channel_finish_ns
+            finish_ns = max(finish_ns, channel_finish_ns)
+        bank.ready_ns = max(bank.ready_ns, finish_ns)
+
+        self.counters.add(f"{self._scope}.transfers")
+        self.counters.add(f"{self._scope}.transfer_bytes", num_bytes)
+        self.counters.add(f"{self._scope}.bytes", num_bytes)
+        self.counters.add(f"{self._scope}.row_{result.value}")
+        self.counters.add(f"{self._scope}.busy_ns", stream_ns * channels)
+        return finish_ns
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Fraction of elapsed time the device's buses were busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        busy = self.counters[f"{self._scope}.busy_ns"]
+        return min(1.0, busy / (elapsed_ns * self.config.channels))
+
+    def row_hit_rate(self) -> float:
+        hits = self.counters[f"{self._scope}.row_hit"]
+        total = (
+            hits
+            + self.counters[f"{self._scope}.row_miss"]
+            + self.counters[f"{self._scope}.row_conflict"]
+        )
+        return hits / total if total else 0.0
+
+    def reset_timing(self) -> None:
+        """Clear bank/bus state (counters are preserved)."""
+        for bank in self._banks:
+            bank.open_row = None
+            bank.ready_ns = 0.0
+        self._channel_free_ns = [0.0] * self.config.channels

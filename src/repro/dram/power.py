@@ -1,0 +1,128 @@
+"""DRAM energy estimation (the Section I cost/power argument).
+
+The paper's third datacenter motivation is cost and power; swap-happy
+designs also burn energy moving segments.  This model turns the device
+counters the simulator already collects into an energy estimate, using
+the standard decomposition:
+
+* **activate/precharge energy** per row cycle (row misses and
+  conflicts open a row; hits reuse it);
+* **read/write energy** per byte crossing the data pins;
+* **background power** (clocking, peripheral, refresh) integrated over
+  elapsed time per device.
+
+Per-bit numbers follow the well-known technology split: die-stacked
+DRAM (HBM-class, short TSV interconnect) spends roughly a quarter of
+the off-chip (DDR-class, board trace) energy per bit, while its
+activate energy is similar.  The absolute joules are indicative; the
+comparisons the bench asserts (who moves more bytes, who opens more
+rows) are what the counters make exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+from repro.stats import CounterSet
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """Energy parameters of one memory technology."""
+
+    activate_nj: float           # per ACT/PRE row cycle
+    transfer_pj_per_byte: float  # per byte on the data pins
+    background_mw: float         # static + refresh power, whole device
+
+    def __post_init__(self) -> None:
+        if min(self.activate_nj, self.transfer_pj_per_byte) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.background_mw < 0:
+            raise ValueError("background power must be non-negative")
+
+
+#: Die-stacked (HBM-class) memory: ~4pJ/bit transfer.
+STACKED_POWER = DramPowerParams(
+    activate_nj=1.0, transfer_pj_per_byte=32.0, background_mw=350.0
+)
+
+#: Off-chip (DDR-class) memory: ~15-20pJ/bit transfer.
+OFFCHIP_POWER = DramPowerParams(
+    activate_nj=1.2, transfer_pj_per_byte=130.0, background_mw=250.0
+)
+
+
+def params_for(config: DramConfig) -> DramPowerParams:
+    """Pick technology parameters by the device's role."""
+    return STACKED_POWER if config.name == "stacked" else OFFCHIP_POWER
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Estimated energy of one device over a simulated interval."""
+
+    device: str
+    activate_nj: float
+    transfer_nj: float
+    background_nj: float
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.activate_nj + self.transfer_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.background_nj
+
+    def merge(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            device=f"{self.device}+{other.device}",
+            activate_nj=self.activate_nj + other.activate_nj,
+            transfer_nj=self.transfer_nj + other.transfer_nj,
+            background_nj=self.background_nj + other.background_nj,
+        )
+
+
+class DramPowerModel:
+    """Turns a device's counters into an :class:`EnergyReport`."""
+
+    def __init__(
+        self, config: DramConfig, params: DramPowerParams | None = None
+    ) -> None:
+        self.config = config
+        self.params = params if params is not None else params_for(config)
+        self._scope = f"dram.{config.name}"
+
+    def estimate(
+        self, counters: CounterSet, elapsed_ns: float
+    ) -> EnergyReport:
+        """Energy over an interval whose counters are in ``counters``."""
+        if elapsed_ns < 0:
+            raise ValueError("elapsed time must be non-negative")
+        row_cycles = (
+            counters[f"{self._scope}.row_miss"]
+            + counters[f"{self._scope}.row_conflict"]
+        )
+        activate_nj = row_cycles * self.params.activate_nj
+        moved_bytes = counters[f"{self._scope}.bytes"]
+        transfer_nj = moved_bytes * self.params.transfer_pj_per_byte / 1000.0
+        background_nj = self.params.background_mw * elapsed_ns * 1e-9
+        return EnergyReport(
+            device=self.config.name,
+            activate_nj=activate_nj,
+            transfer_nj=transfer_nj,
+            background_nj=background_nj,
+        )
+
+
+def system_energy(
+    counters: CounterSet,
+    fast: DramConfig,
+    slow: DramConfig,
+    elapsed_ns: float,
+) -> EnergyReport:
+    """Combined fast+slow energy for one simulation interval."""
+    fast_report = DramPowerModel(fast).estimate(counters, elapsed_ns)
+    slow_report = DramPowerModel(slow).estimate(counters, elapsed_ns)
+    return fast_report.merge(slow_report)

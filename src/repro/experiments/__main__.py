@@ -1,0 +1,174 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from a shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig15
+    python -m repro.experiments fig18 --accesses 3000 --warmup 6000
+    python -m repro.experiments all
+
+Figures run at the benchmark default scale unless overridden.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.figures import (
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_fig20,
+    run_fig21,
+    run_fig22,
+    run_fig23,
+)
+from repro.experiments.longrun_figures import run_fig3, run_fig4, run_fig5
+from repro.experiments.os_figures import run_fig2a, run_fig2b, run_fig2c
+from repro.experiments.overhead import run_overhead_analysis
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import DEFAULT_SCALE, Scale
+from repro.experiments.tables import run_table1, run_table2
+
+
+def _scaled(runner):
+    def run(scale: Scale) -> None:
+        print(runner(scale).render())
+
+    return run
+
+
+def _unscaled(runner):
+    def run(scale: Scale) -> None:  # noqa: ARG001 - uniform signature
+        print(runner().render())
+
+    return run
+
+
+def _fig2c(scale: Scale) -> None:
+    timeline, result = run_fig2c(scale)
+    print(
+        format_series(
+            timeline.times,
+            {
+                "migrated": timeline.series("migrated"),
+                "hit_rate": timeline.series("hit_rate"),
+            },
+            title=result.figure,
+        )
+    )
+
+
+def _fig3(scale: Scale) -> None:  # noqa: ARG001
+    timeline, result = run_fig3()
+    print(
+        format_series(
+            timeline.times,
+            {"free_mb": timeline.series("free_mb")},
+            title=result.figure,
+            max_points=30,
+        )
+    )
+
+
+def _overhead(scale: Scale) -> None:  # noqa: ARG001
+    report = run_overhead_analysis()
+    print("Section VI-F: ISA-Alloc/ISA-Free overhead")
+    print(f"  ISA events : {report.isa_events / 1e6:,.1f}M (paper 242.8M)")
+    print(f"  swap time  : {report.swap_seconds:,.0f}s (paper 2071.89s)")
+    print(f"  total time : {report.total_seconds / 3600:,.1f}h (paper 53.8h)")
+    print(f"  overhead   : {report.overhead_percent:.2f}% (paper 1.06%)")
+
+
+EXPERIMENTS: Dict[str, Callable[[Scale], None]] = {
+    "table1": _unscaled(run_table1),
+    "table2": _unscaled(run_table2),
+    "fig2a": _scaled(run_fig2a),
+    "fig2b": _scaled(run_fig2b),
+    "fig2c": _fig2c,
+    "fig3": _fig3,
+    "fig4": _unscaled(run_fig4),
+    "fig5": _unscaled(run_fig5),
+    "fig15": _scaled(run_fig15),
+    "fig16": _scaled(run_fig16),
+    "fig17": _scaled(run_fig17),
+    "fig18": _scaled(run_fig18),
+    "fig19": _scaled(run_fig19),
+    "fig20": _scaled(run_fig20),
+    "fig21": _scaled(run_fig21),
+    "fig22": _scaled(run_fig22),
+    "fig23": _scaled(run_fig23),
+    "overhead": _overhead,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig15), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=DEFAULT_SCALE.accesses_per_core,
+        help="measured accesses per core",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=DEFAULT_SCALE.warmup_per_core,
+        help="warm-up accesses per core",
+    )
+    parser.add_argument(
+        "--fast-mb",
+        type=float,
+        default=DEFAULT_SCALE.fast_mb,
+        help="stacked-DRAM capacity in MB (scaled system)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    scale = dataclasses.replace(
+        DEFAULT_SCALE,
+        accesses_per_core=args.accesses,
+        warmup_per_core=args.warmup,
+        fast_mb=args.fast_mb,
+    )
+    if args.experiment == "all":
+        for name, runner in EXPERIMENTS.items():
+            print(f"==== {name} ====")
+            runner(scale)
+            print()
+        return 0
+
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"unknown experiment {args.experiment!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    runner(scale)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early.
+        raise SystemExit(0) from None

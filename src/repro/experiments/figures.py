@@ -1,0 +1,361 @@
+"""Runners for the main-results figures (15-23)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    FIG18_DESIGNS,
+    FIG20_DESIGNS,
+    FIG22_DESIGNS,
+    Scale,
+    geomean_by_design,
+    run_design_sweep,
+)
+from repro.stats import geomean
+
+#: The four designs of Figures 15-17 and 19.
+HW_DESIGNS = ("Alloy-Cache", "PoM", "Chameleon", "Chameleon-Opt")
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: headers + rows + the rendered table."""
+
+    figure: str
+    headers: List[str]
+    rows: List[List]
+    summary: Dict[str, float]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.figure)
+
+
+def _mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Figure 15: stacked-DRAM hit rates
+# ----------------------------------------------------------------------
+
+def run_fig15(scale: Scale) -> FigureResult:
+    """Stacked DRAM hit rate per workload for Alloy/PoM/Chameleon/Opt.
+
+    Paper averages: Alloy 62.4%, PoM 81%, Chameleon 84.6%, Opt 89.4%.
+    """
+    results = run_design_sweep(scale, HW_DESIGNS)
+    headers = ["workload"] + [d for d in HW_DESIGNS]
+    rows = []
+    for name in scale.benchmarks:
+        rows.append(
+            [name]
+            + [
+                results[(design, name)].fast_hit_rate * 100.0
+                for design in HW_DESIGNS
+            ]
+        )
+    summary = {
+        design: _mean(
+            results[(design, name)].fast_hit_rate * 100.0
+            for name in scale.benchmarks
+        )
+        for design in HW_DESIGNS
+    }
+    rows.append(["Average"] + [summary[d] for d in HW_DESIGNS])
+    return FigureResult(
+        "Figure 15: Stacked DRAM hit rate [%]", headers, rows, summary
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 16: cache/PoM mode distribution
+# ----------------------------------------------------------------------
+
+def run_fig16(scale: Scale) -> FigureResult:
+    """Segment-group mode split for Chameleon and Chameleon-Opt.
+
+    Paper averages: 9.2% cache mode (Chameleon), 40.6% (Chameleon-Opt).
+    """
+    designs = ("Chameleon", "Chameleon-Opt")
+    results = run_design_sweep(scale, designs)
+    headers = ["workload"] + [f"{d} cache-mode %" for d in designs]
+    rows = []
+    for name in scale.benchmarks:
+        rows.append(
+            [name]
+            + [
+                (results[(design, name)].cache_mode_fraction or 0.0) * 100.0
+                for design in designs
+            ]
+        )
+    summary = {
+        design: _mean(
+            (results[(design, name)].cache_mode_fraction or 0.0) * 100.0
+            for name in scale.benchmarks
+        )
+        for design in designs
+    }
+    rows.append(["Average"] + [summary[d] for d in designs])
+    return FigureResult(
+        "Figure 16: cache-mode segment groups [%]", headers, rows, summary
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 17: normalised swaps
+# ----------------------------------------------------------------------
+
+def run_fig17(scale: Scale) -> FigureResult:
+    """Segment swaps normalised to PoM.
+
+    Paper averages: Chameleon 0.856, Chameleon-Opt 0.569 (i.e. -14.4%
+    and -43.1% swaps vs PoM).
+    """
+    designs = ("PoM", "Chameleon", "Chameleon-Opt")
+    results = run_design_sweep(scale, designs)
+    headers = ["workload"] + list(designs)
+    rows = []
+    for name in scale.benchmarks:
+        base = max(1.0, results[("PoM", name)].swaps)
+        rows.append(
+            [name]
+            + [results[(design, name)].swaps / base for design in designs]
+        )
+    totals = {
+        design: sum(
+            results[(design, name)].swaps for name in scale.benchmarks
+        )
+        for design in designs
+    }
+    base_total = max(1.0, totals["PoM"])
+    summary = {design: totals[design] / base_total for design in designs}
+    rows.append(["Average"] + [summary[d] for d in designs])
+    return FigureResult(
+        "Figure 17: swaps normalised to PoM", headers, rows, summary
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 18: normalised IPC, six designs
+# ----------------------------------------------------------------------
+
+def run_fig18(scale: Scale) -> FigureResult:
+    """Per-workload IPC normalised to the 20GB flat baseline.
+
+    Paper geomeans vs that baseline: 24GB +35.6%, PoM +85.2%,
+    Chameleon +96.8%, Chameleon-Opt +106.3%.
+    """
+    results = run_design_sweep(scale, FIG18_DESIGNS)
+    headers = ["workload"] + list(FIG18_DESIGNS)
+    rows = []
+    for name in scale.benchmarks:
+        base = results[("baseline_20GB_DDR3", name)].geomean_ipc
+        rows.append(
+            [name]
+            + [
+                results[(design, name)].geomean_ipc / base
+                for design in FIG18_DESIGNS
+            ]
+        )
+    means = geomean_by_design(results, FIG18_DESIGNS, scale.benchmarks)
+    base = means["baseline_20GB_DDR3"]
+    summary = {design: means[design] / base for design in FIG18_DESIGNS}
+    rows.append(["GeoMean"] + [summary[d] for d in FIG18_DESIGNS])
+    return FigureResult(
+        "Figure 18: IPC normalised to baseline_20GB_DDR3",
+        headers,
+        rows,
+        summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 19: average memory access latency
+# ----------------------------------------------------------------------
+
+def run_fig19(scale: Scale) -> FigureResult:
+    """Average memory access latency in CPU cycles (PoM vs Chameleons).
+
+    The paper's ordering: PoM highest, Chameleon lower, Opt lowest.
+    """
+    designs = ("PoM", "Chameleon", "Chameleon-Opt")
+    results = run_design_sweep(scale, designs)
+    config = scale.config()
+    headers = ["workload"] + list(designs)
+    rows = []
+    for name in scale.benchmarks:
+        rows.append(
+            [name]
+            + [
+                results[(design, name)].average_latency_cycles(config)
+                for design in designs
+            ]
+        )
+    summary = {
+        design: geomean(
+            max(
+                1e-9,
+                results[(design, name)].average_latency_cycles(config),
+            )
+            for name in scale.benchmarks
+        )
+        for design in designs
+    }
+    rows.append(["GeoMean"] + [summary[d] for d in designs])
+    return FigureResult(
+        "Figure 19: average memory access latency [CPU cycles]",
+        headers,
+        rows,
+        summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 20: comparison with OS-based solutions
+# ----------------------------------------------------------------------
+
+def run_fig20(scale: Scale) -> FigureResult:
+    """IPC of OS-managed designs vs Chameleon, normalised to 20GB flat.
+
+    Paper: Chameleon +28.7%/+19.1% over first-touch/AutoNUMA;
+    Chameleon-Opt +34.8%/+24.9%.
+    """
+    results = run_design_sweep(scale, FIG20_DESIGNS)
+    headers = ["workload"] + list(FIG20_DESIGNS)
+    rows = []
+    for name in scale.benchmarks:
+        base = results[("baseline_20GB_DDR3", name)].geomean_ipc
+        rows.append(
+            [name]
+            + [
+                results[(design, name)].geomean_ipc / base
+                for design in FIG20_DESIGNS
+            ]
+        )
+    means = geomean_by_design(results, FIG20_DESIGNS, scale.benchmarks)
+    base = means["baseline_20GB_DDR3"]
+    summary = {design: means[design] / base for design in FIG20_DESIGNS}
+    rows.append(["GeoMean"] + [summary[d] for d in FIG20_DESIGNS])
+    return FigureResult(
+        "Figure 20: IPC vs OS-based solutions (normalised)",
+        headers,
+        rows,
+        summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 21 and 23: capacity-ratio sensitivity
+# ----------------------------------------------------------------------
+
+def run_fig21(scale: Scale, ratios: Tuple[int, ...] = (3, 5, 7)) -> FigureResult:
+    """Cache-mode fraction of Chameleon-Opt across capacity ratios.
+
+    Paper averages: 33% (1:3), 40.6% (1:5), 48.7% (1:7).
+    """
+    headers = ["ratio"] + ["Chameleon-Opt cache-mode %", "Chameleon cache-mode %"]
+    rows = []
+    summary: Dict[str, float] = {}
+    for ratio in ratios:
+        ratio_scale = scale.with_ratio(ratio)
+        results = run_design_sweep(
+            ratio_scale, ("Chameleon", "Chameleon-Opt")
+        )
+        opt = _mean(
+            (results[("Chameleon-Opt", name)].cache_mode_fraction or 0.0)
+            * 100.0
+            for name in ratio_scale.benchmarks
+        )
+        basic = _mean(
+            (results[("Chameleon", name)].cache_mode_fraction or 0.0) * 100.0
+            for name in ratio_scale.benchmarks
+        )
+        rows.append([f"1:{ratio}", opt, basic])
+        summary[f"1:{ratio}"] = opt
+    return FigureResult(
+        "Figure 21: cache-mode groups vs capacity ratio [%]",
+        headers,
+        rows,
+        summary,
+    )
+
+
+def run_fig23(scale: Scale, ratios: Tuple[int, ...] = (3, 7)) -> FigureResult:
+    """Normalised IPC across capacity ratios (1:3 and 1:7).
+
+    Paper: Chameleon/Opt beat PoM by 5.9%/7.6% at 1:3 and 8.1%/12.4%
+    at 1:7.
+    """
+    designs = (
+        "baseline_20GB_DDR3",
+        "baseline_24GB_DDR3",
+        "PoM",
+        "Chameleon",
+        "Chameleon-Opt",
+    )
+    headers = ["ratio"] + list(designs)
+    rows = []
+    summary: Dict[str, float] = {}
+    for ratio in ratios:
+        ratio_scale = scale.with_ratio(ratio)
+        results = run_design_sweep(ratio_scale, designs)
+        means = geomean_by_design(results, designs, ratio_scale.benchmarks)
+        base = means["baseline_20GB_DDR3"]
+        rows.append([f"1:{ratio}"] + [means[d] / base for d in designs])
+        summary[f"1:{ratio}:opt_vs_pom"] = (
+            means["Chameleon-Opt"] / means["PoM"] - 1.0
+        ) * 100.0
+        summary[f"1:{ratio}:cham_vs_pom"] = (
+            means["Chameleon"] / means["PoM"] - 1.0
+        ) * 100.0
+    return FigureResult(
+        "Figure 23: normalised IPC vs capacity ratio",
+        headers,
+        rows,
+        summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 22: Polymorphic Memory comparison
+# ----------------------------------------------------------------------
+
+def run_fig22(scale: Scale) -> FigureResult:
+    """Chameleon vs the Polymorphic Memory patent.
+
+    Paper: Chameleon +10.5%, Chameleon-Opt +15.8% over Polymorphic.
+    """
+    results = run_design_sweep(scale, FIG22_DESIGNS)
+    headers = ["workload"] + list(FIG22_DESIGNS)
+    rows = []
+    for name in scale.benchmarks:
+        base = results[("baseline_20GB_DDR3", name)].geomean_ipc
+        rows.append(
+            [name]
+            + [
+                results[(design, name)].geomean_ipc / base
+                for design in FIG22_DESIGNS
+            ]
+        )
+    means = geomean_by_design(results, FIG22_DESIGNS, scale.benchmarks)
+    base = means["baseline_20GB_DDR3"]
+    summary = {design: means[design] / base for design in FIG22_DESIGNS}
+    summary["cham_vs_poly_percent"] = (
+        means["Chameleon"] / means["Polymorphic"] - 1.0
+    ) * 100.0
+    summary["opt_vs_poly_percent"] = (
+        means["Chameleon-Opt"] / means["Polymorphic"] - 1.0
+    ) * 100.0
+    rows.append(
+        ["GeoMean"] + [summary[d] for d in FIG22_DESIGNS]
+    )
+    return FigureResult(
+        "Figure 22: Polymorphic Memory comparison (normalised IPC)",
+        headers,
+        rows,
+        summary,
+    )

@@ -1,0 +1,241 @@
+"""Shared experiment infrastructure: scales, design registry, sweeps.
+
+Experiments run on proportionally scaled configurations (see DESIGN.md):
+capacities shrink by a constant factor while every architectural ratio
+of Table I — the 1:5 stacked:off-chip split, 2KB segments, channel and
+bank counts, timings — is preserved, and workload footprints are
+fractions of total capacity exactly as in the paper.  ``Scale`` bundles
+the knobs; ``run_design_sweep`` executes a set of designs over the
+Table II workloads with memoisation so the five main-results figures
+(15-19) share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.config import MB, SystemConfig, offchip_dram, stacked_dram
+from repro.arch import (
+    AlloyCache,
+    CameoArchitecture,
+    FlatMemory,
+    MemoryArchitecture,
+    PoMArchitecture,
+    PolymorphicMemory,
+    StaticHybridMemory,
+)
+from repro.core import (
+    ChameleonArchitecture,
+    ChameleonOptArchitecture,
+    ChameleonSharedPool,
+)
+from repro.osmodel.autonuma import AutoNumaConfig
+from repro.sim import AutoNumaMemory, FirstTouchMemory, SimulationResult, simulate
+from repro.workloads import benchmark, benchmark_names, build_workload
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Execution scale of an experiment run."""
+
+    fast_mb: float = 4.0
+    ratio: int = 5
+    accesses_per_core: int = 1500
+    warmup_per_core: int = 1500
+    num_copies: int = 12
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    seed: int = 0
+
+    def config(self) -> SystemConfig:
+        fast = int(self.fast_mb * MB)
+        return SystemConfig(
+            fast_mem=stacked_dram(fast),
+            slow_mem=offchip_dram(fast * self.ratio),
+        )
+
+    def with_ratio(self, ratio: int) -> "Scale":
+        """Same total capacity, different stacked:off-chip split
+        (Figures 21/23: 24 total units split 6+18, 4+20, 3+21)."""
+        total_mb = self.fast_mb * (1 + self.ratio)
+        return Scale(
+            fast_mb=total_mb / (ratio + 1),
+            ratio=ratio,
+            accesses_per_core=self.accesses_per_core,
+            warmup_per_core=self.warmup_per_core,
+            num_copies=self.num_copies,
+            benchmarks=self.benchmarks,
+            seed=self.seed,
+        )
+
+
+#: Small scale for unit/integration tests.
+SMOKE_SCALE = Scale(
+    fast_mb=1.0,
+    accesses_per_core=300,
+    warmup_per_core=300,
+    num_copies=4,
+    benchmarks=("mcf", "bwaves", "comd"),
+)
+
+#: Benchmark scale: full Table II workload list.
+DEFAULT_SCALE = Scale(
+    fast_mb=4.0,
+    accesses_per_core=2000,
+    warmup_per_core=6000,
+)
+
+
+# ----------------------------------------------------------------------
+# Design registry
+# ----------------------------------------------------------------------
+
+DesignFactory = Callable[[SystemConfig], MemoryArchitecture]
+
+
+def _flat(fraction_of_total: float) -> DesignFactory:
+    def make(config: SystemConfig) -> MemoryArchitecture:
+        capacity = int(config.total_capacity_bytes * fraction_of_total)
+        return FlatMemory(config, capacity_bytes=capacity)
+
+    return make
+
+
+def _knl(cache_fraction: float) -> DesignFactory:
+    def make(config: SystemConfig) -> MemoryArchitecture:
+        return StaticHybridMemory(config, cache_fraction=cache_fraction)
+
+    return make
+
+
+def _autonuma(threshold: float) -> DesignFactory:
+    def make(config: SystemConfig) -> MemoryArchitecture:
+        return AutoNumaMemory(
+            config,
+            autonuma=AutoNumaConfig(threshold=threshold),
+            epoch_accesses=3000,
+        )
+
+    return make
+
+
+#: All designs the paper evaluates, by the labels used in its figures.
+DESIGNS: Dict[str, DesignFactory] = {
+    "baseline_20GB_DDR3": _flat(20.0 / 24.0),
+    "baseline_24GB_DDR3": _flat(1.0),
+    "Alloy-Cache": AlloyCache,
+    "PoM": PoMArchitecture,
+    "Chameleon": ChameleonArchitecture,
+    "Chameleon-Opt": ChameleonOptArchitecture,
+    "Polymorphic": PolymorphicMemory,
+    "CAMEO": CameoArchitecture,
+    "Chameleon-Shared": ChameleonSharedPool,
+    "KNL-hybrid-25": _knl(0.25),
+    "KNL-hybrid-50": _knl(0.50),
+    "numaAware": FirstTouchMemory,
+    "autoNUMA_70percent": _autonuma(0.70),
+    "autoNUMA_80percent": _autonuma(0.80),
+    "autoNUMA_90percent": _autonuma(0.90),
+}
+
+#: The six designs of Figure 18, in plot order.
+FIG18_DESIGNS = (
+    "baseline_20GB_DDR3",
+    "baseline_24GB_DDR3",
+    "Alloy-Cache",
+    "PoM",
+    "Chameleon",
+    "Chameleon-Opt",
+)
+
+#: The designs of Figure 20 (OS-based comparison).
+FIG20_DESIGNS = (
+    "baseline_20GB_DDR3",
+    "baseline_24GB_DDR3",
+    "numaAware",
+    "autoNUMA_70percent",
+    "autoNUMA_80percent",
+    "autoNUMA_90percent",
+    "Chameleon",
+    "Chameleon-Opt",
+)
+
+#: The designs of Figure 22 (Polymorphic Memory comparison).
+FIG22_DESIGNS = (
+    "baseline_20GB_DDR3",
+    "baseline_24GB_DDR3",
+    "Polymorphic",
+    "Chameleon",
+    "Chameleon-Opt",
+)
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+
+SweepResults = Dict[Tuple[str, str], SimulationResult]
+
+_sweep_cache: Dict[Tuple, SweepResults] = {}
+
+
+def run_design_sweep(
+    scale: Scale,
+    designs: Sequence[str],
+    use_cache: bool = True,
+) -> SweepResults:
+    """Simulate each (design, workload) pair; returns results keyed by
+    ``(design, workload)``.
+
+    Results are memoised per (scale, design) so that the figures sharing
+    the Section VI-B sweep do not re-simulate.
+    """
+    results: SweepResults = {}
+    missing: List[str] = []
+    for design in designs:
+        if design not in DESIGNS:
+            raise KeyError(f"unknown design {design!r}")
+        key = (scale, design)
+        if use_cache and key in _sweep_cache:
+            results.update(_sweep_cache[key])
+        else:
+            missing.append(design)
+    for design in missing:
+        config = scale.config()
+        per_design: SweepResults = {}
+        for name in scale.benchmarks:
+            workload = build_workload(
+                config,
+                benchmark(name),
+                num_copies=scale.num_copies,
+                seed=scale.seed,
+            )
+            result = simulate(
+                DESIGNS[design](config),
+                workload,
+                accesses_per_core=scale.accesses_per_core,
+                warmup_per_core=scale.warmup_per_core,
+            )
+            per_design[(design, name)] = result
+        if use_cache:
+            _sweep_cache[(scale, design)] = per_design
+        results.update(per_design)
+    return results
+
+
+def clear_sweep_cache() -> None:
+    _sweep_cache.clear()
+
+
+def geomean_by_design(
+    results: SweepResults, designs: Sequence[str], workloads: Sequence[str]
+) -> Dict[str, float]:
+    """Geometric mean of per-workload geomean IPCs, per design."""
+    from repro.stats import geomean
+
+    return {
+        design: geomean(
+            results[(design, name)].geomean_ipc for name in workloads
+        )
+        for design in designs
+    }

@@ -1,0 +1,107 @@
+"""Runners for Table I (configuration) and Table II (workloads)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import GB, KB, MB, SystemConfig, paper_config
+from repro.experiments.figures import FigureResult
+from repro.workloads import build_workload
+from repro.workloads.suites import TABLE2_BENCHMARKS
+
+
+def run_table1(config: SystemConfig | None = None) -> FigureResult:
+    """Render the simulated configuration (Table I)."""
+    config = config if config is not None else paper_config()
+    fast, slow = config.fast_mem, config.slow_mem
+    rows: List[List] = [
+        ["Cores", f"{config.num_cores} @ {config.core.frequency_hz / 1e9:.1f}GHz"],
+        ["L1 (I/D)", f"{config.l1.capacity_bytes // KB}KB, {config.l1.associativity}-way"],
+        ["L2", f"{config.l2.capacity_bytes // KB}KB, {config.l2.associativity}-way"],
+        ["L3", f"{config.l3.capacity_bytes // MB}MB, {config.l3.associativity}-way, shared"],
+        [
+            "Stacked DRAM",
+            f"{fast.capacity_bytes / GB:.2f}GB, {fast.bus_frequency_hz/1e9:.1f}GHz DDR, "
+            f"{fast.bus_width_bits}b x {fast.channels}ch, tRFC {fast.timing.tRFC_ns:.0f}ns",
+        ],
+        [
+            "Off-chip DRAM",
+            f"{slow.capacity_bytes / GB:.2f}GB, {slow.bus_frequency_hz/1e9:.1f}GHz DDR, "
+            f"{slow.bus_width_bits}b x {slow.channels}ch, tRFC {slow.timing.tRFC_ns:.0f}ns",
+        ],
+        [
+            "Timings",
+            f"tCAS-tRCD-tRP-tRAS {fast.timing.tCAS}-{fast.timing.tRCD}-"
+            f"{fast.timing.tRP}-{fast.timing.tRAS}",
+        ],
+        ["Segment size", f"{config.segment_bytes // KB}KB"],
+        ["Page-fault latency", f"{config.page_fault_latency_cycles:,} cycles"],
+        ["Capacity ratio", f"1:{config.capacity_ratio}"],
+        ["Segment groups", f"{config.num_segment_groups:,}"],
+    ]
+    summary = {
+        "peak_bw_ratio": (
+            fast.peak_bandwidth_bytes_per_sec
+            / slow.peak_bandwidth_bytes_per_sec
+        ),
+        "capacity_ratio": float(config.capacity_ratio),
+    }
+    return FigureResult(
+        "Table I: simulated configuration", ["item", "value"], rows, summary
+    )
+
+
+def run_table2(config: SystemConfig | None = None) -> FigureResult:
+    """Regenerate Table II from the synthesis catalogue.
+
+    Reports, per benchmark, the Table II LLC-MPKI / footprint targets
+    and the values the synthetic workload actually achieves on the
+    given configuration (MPKI from the generated instruction gaps,
+    footprint from the placed segments).
+    """
+    from repro.config import scaled_config
+
+    config = config if config is not None else scaled_config()
+    total = config.total_capacity_bytes
+    headers = [
+        "workload",
+        "suite",
+        "MPKI (paper)",
+        "MPKI (model)",
+        "MF GB (paper)",
+        "MF frac (model)",
+    ]
+    rows: List[List] = []
+    mpki_error = 0.0
+    for spec in TABLE2_BENCHMARKS:
+        workload = build_workload(config, spec)
+        sample_instructions = 0
+        sample_accesses = 0
+        for record in workload.generators()[0].stream(2000):
+            sample_instructions += record.icount_gap
+            sample_accesses += 1
+        model_mpki = (
+            sample_accesses / sample_instructions * 1000.0
+            if sample_instructions
+            else 0.0
+        )
+        mpki_error = max(
+            mpki_error, abs(model_mpki - spec.llc_mpki) / spec.llc_mpki
+        )
+        rows.append(
+            [
+                spec.name,
+                spec.suite,
+                spec.llc_mpki,
+                model_mpki,
+                spec.footprint_gb,
+                workload.footprint_bytes / total,
+            ]
+        )
+    summary = {"max_mpki_relative_error": mpki_error}
+    return FigureResult(
+        "Table II: workload characteristics (paper vs model)",
+        headers,
+        rows,
+        summary,
+    )

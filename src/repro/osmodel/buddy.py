@@ -1,0 +1,177 @@
+"""Buddy physical-page allocator.
+
+A faithful functional model of the Linux zoned buddy allocator over one
+contiguous physical range: per-order free lists, block splitting on
+allocation, buddy coalescing on free.  Allocation order 0 is one 4KB
+page; a 2MB THP is order 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.config import PAGE_BYTES
+
+
+class OutOfMemoryError(Exception):
+    """No free block large enough (the model's -ENOMEM)."""
+
+
+class BuddyAllocator:
+    """Buddy allocator over ``[base, base + capacity)`` physical bytes."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        base: int = 0,
+        page_bytes: int = PAGE_BYTES,
+    ) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % page_bytes:
+            raise ValueError("capacity must be a positive multiple of the page size")
+        if base % page_bytes:
+            raise ValueError("base must be page aligned")
+        self.page_bytes = page_bytes
+        self.base = base
+        self.capacity_bytes = capacity_bytes
+        self.num_pages = capacity_bytes // page_bytes
+        self.max_order = self.num_pages.bit_length() - 1
+        self._free: Dict[int, Set[int]] = {
+            order: set() for order in range(self.max_order + 1)
+        }
+        self._allocated: Dict[int, int] = {}  # page index -> order
+        self._free_pages = 0
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        """Carve the capacity into maximal power-of-two blocks."""
+        page = 0
+        remaining = self.num_pages
+        while remaining:
+            order = min(remaining.bit_length() - 1, self.max_order)
+            # The block must also be naturally aligned to its order.
+            while order and page % (1 << order):
+                order -= 1
+            self._free[order].add(page)
+            page += 1 << order
+            remaining -= 1 << order
+            self._free_pages += 1 << order
+
+    # ------------------------------------------------------------------
+    # Allocation / free
+    # ------------------------------------------------------------------
+
+    def alloc(self, order: int = 0) -> int:
+        """Allocate a block of ``2**order`` pages; returns its address."""
+        if not 0 <= order <= self.max_order:
+            raise ValueError(f"order {order} out of range 0..{self.max_order}")
+        current = order
+        while current <= self.max_order and not self._free[current]:
+            current += 1
+        if current > self.max_order:
+            raise OutOfMemoryError(
+                f"no free block of order {order} "
+                f"({self.free_bytes} bytes free, fragmented)"
+            )
+        page = min(self._free[current])
+        self._free[current].remove(page)
+        while current > order:
+            current -= 1
+            buddy = page + (1 << current)
+            self._free[current].add(buddy)
+        self._allocated[page] = order
+        self._free_pages -= 1 << order
+        return self.base + page * self.page_bytes
+
+    def alloc_bytes(self, num_bytes: int) -> List[int]:
+        """Allocate ``num_bytes`` as a list of page-sized blocks."""
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        pages = -(-num_bytes // self.page_bytes)
+        if pages > self._free_pages:
+            raise OutOfMemoryError(
+                f"requested {pages} pages, only {self._free_pages} free"
+            )
+        return [self.alloc(0) for _ in range(pages)]
+
+    def free(self, address: int) -> None:
+        """Free a previously allocated block, coalescing with buddies."""
+        page = self._page_index(address)
+        order = self._allocated.pop(page, None)
+        if order is None:
+            raise ValueError(f"address {address:#x} is not allocated")
+        self._free_pages += 1 << order
+        while order < self.max_order:
+            buddy = page ^ (1 << order)
+            if buddy not in self._free[order]:
+                break
+            self._free[order].remove(buddy)
+            page = min(page, buddy)
+            order += 1
+        self._free[order].add(page)
+
+    def _page_index(self, address: int) -> int:
+        offset = address - self.base
+        if offset < 0 or offset >= self.capacity_bytes:
+            raise ValueError(f"address {address:#x} outside allocator range")
+        if offset % self.page_bytes:
+            raise ValueError(f"address {address:#x} is not page aligned")
+        return offset // self.page_bytes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return self._free_pages
+
+    @property
+    def free_bytes(self) -> int:
+        return self._free_pages * self.page_bytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.capacity_bytes - self.free_bytes
+
+    def is_allocated(self, address: int) -> bool:
+        """Whether the page containing ``address`` is allocated."""
+        offset = address - self.base
+        if offset < 0 or offset >= self.capacity_bytes:
+            return False
+        page = offset // self.page_bytes
+        # Walk down: a page is allocated iff some allocated block covers it.
+        for start, order in self._allocated.items():
+            if start <= page < start + (1 << order):
+                return True
+        return False
+
+    def largest_free_order(self) -> int:
+        """Largest order with a free block (-1 when memory is exhausted)."""
+        for order in range(self.max_order, -1, -1):
+            if self._free[order]:
+                return order
+        return -1
+
+    def check_invariants(self) -> None:
+        """Internal consistency check used by property tests."""
+        counted = sum(
+            len(blocks) << order for order, blocks in self._free.items()
+        )
+        if counted != self._free_pages:
+            raise AssertionError("free page accounting diverged")
+        spans: List[tuple[int, int]] = []
+        for order, blocks in self._free.items():
+            for start in blocks:
+                if start % (1 << order):
+                    raise AssertionError("misaligned free block")
+                spans.append((start, start + (1 << order)))
+        for start, order in self._allocated.items():
+            spans.append((start, start + (1 << order)))
+        spans.sort()
+        cursor = 0
+        for lo, hi in spans:
+            if lo != cursor:
+                raise AssertionError(f"gap or overlap at page {cursor}")
+            cursor = hi
+        if cursor != self.num_pages:
+            raise AssertionError("blocks do not tile the whole range")

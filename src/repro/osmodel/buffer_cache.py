@@ -1,0 +1,155 @@
+"""Linux buffer/page-cache interplay with the ISA hooks (Section V-D3).
+
+Linux uses otherwise-free memory as a cache for secondary storage.  The
+paper's point: since buffer-cache pages are allocated and freed through
+the same allocator paths as anonymous memory, their ISA-Alloc/ISA-Free
+events reach the Chameleon hardware like any others — so Chameleon
+never "steals" buffer-cache space for its hardware cache (the two
+caches compete only through the normal allocator), and reclaiming
+buffer pages under memory pressure automatically returns their segment
+groups to the hardware's cache-mode pool.
+
+This module models that machinery:
+
+* :class:`BufferCache` — an LRU file-page cache that grows
+  opportunistically into free memory and shrinks under allocator
+  pressure (the Linux ``drop-behind``/reclaim behaviour);
+* file reads populate it (allocating pages through the provided
+  allocator, which fires ISA-Alloc via the dispatcher);
+* reclaim evicts clean pages first, writes dirty ones back, and frees
+  them (firing ISA-Free).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import PAGE_BYTES
+from repro.osmodel.buddy import OutOfMemoryError
+from repro.stats import CounterSet
+
+
+@dataclass
+class _CachedPage:
+    physical: int
+    dirty: bool = False
+
+
+class BufferCache:
+    """An LRU page cache for file blocks over the OS page allocator."""
+
+    def __init__(
+        self,
+        allocate_page: Callable[[], int],
+        free_page: Callable[[int], None],
+        max_pages: int | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        """``allocate_page`` returns a physical page address (raising
+        :class:`OutOfMemoryError` when none is free); ``free_page``
+        returns one.  Both are expected to fire the ISA hooks the same
+        way anonymous allocations do (Algorithms 1-2).  ``max_pages``
+        optionally caps the cache (vm.pagecache-limit style); by
+        default it grows into whatever the allocator can supply."""
+        if max_pages is not None and max_pages < 1:
+            raise ValueError("max_pages must be positive when set")
+        self._allocate = allocate_page
+        self._free = free_page
+        self.max_pages = max_pages
+        self.counters = counters if counters is not None else CounterSet()
+        self._pages: "OrderedDict[int, _CachedPage]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # File I/O path
+    # ------------------------------------------------------------------
+
+    def read(self, file_block: int) -> bool:
+        """Read one file block; returns True on a buffer-cache hit."""
+        page = self._pages.get(file_block)
+        if page is not None:
+            self._pages.move_to_end(file_block)
+            self.counters.add("buffercache.hits")
+            return True
+        self.counters.add("buffercache.misses")
+        if self.max_pages is not None and len(self._pages) >= self.max_pages:
+            self.evict(len(self._pages) - self.max_pages + 1)
+        physical = self._allocate_with_reclaim()
+        if physical is None:
+            # No memory at all: the read bypasses the cache entirely.
+            self.counters.add("buffercache.bypasses")
+            return False
+        self._pages[file_block] = _CachedPage(physical=physical)
+        return False
+
+    def write(self, file_block: int) -> bool:
+        """Write one file block (write-back); returns True on a hit."""
+        hit = self.read(file_block)
+        page = self._pages.get(file_block)
+        if page is not None:
+            page.dirty = True
+        return hit
+
+    def _allocate_with_reclaim(self) -> Optional[int]:
+        try:
+            return self._allocate()
+        except OutOfMemoryError:
+            if not self.evict(1):
+                return None
+            try:
+                return self._allocate()
+            except OutOfMemoryError:
+                return None
+
+    # ------------------------------------------------------------------
+    # Reclaim path (memory pressure from anonymous allocations)
+    # ------------------------------------------------------------------
+
+    def evict(self, pages: int) -> int:
+        """Reclaim up to ``pages`` cached pages (LRU-first, clean pages
+        preferred); returns how many were freed."""
+        if pages <= 0:
+            return 0
+        freed = 0
+        # Pass 1: clean pages in LRU order.
+        for block in [
+            b for b, p in self._pages.items() if not p.dirty
+        ]:
+            if freed >= pages:
+                break
+            self._release(block)
+            freed += 1
+        # Pass 2: dirty pages need a writeback first.
+        while freed < pages and self._pages:
+            block, page = next(iter(self._pages.items()))
+            if page.dirty:
+                self.counters.add("buffercache.writebacks")
+            self._release(block)
+            freed += 1
+        return freed
+
+    def drop_all(self) -> int:
+        """`echo 3 > drop_caches`: release everything."""
+        return self.evict(len(self._pages))
+
+    def _release(self, file_block: int) -> None:
+        page = self._pages.pop(file_block)
+        self._free(page.physical)
+        self.counters.add("buffercache.reclaimed")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def cached_bytes(self) -> int:
+        return len(self._pages) * PAGE_BYTES
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.counters["buffercache.hits"]
+        total = hits + self.counters["buffercache.misses"]
+        return hits / total if total else 0.0

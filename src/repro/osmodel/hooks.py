@@ -1,0 +1,136 @@
+"""ISA-Alloc / ISA-Free instrumentation (Algorithms 1 and 2).
+
+The OS memory allocator and reclamation routines are instrumented so
+that every page allocation or free notifies the hardware once per
+hardware *segment* covered by the page:
+
+``numIterations = pageSize / segmentSize`` (Algorithm 1 line 17), with
+one ``ISA_Alloc(segmentNum)`` per iteration, and symmetrically for
+``ISA_Free`` (Algorithm 2).  When the segment is larger than the page
+(e.g. 2KB segments vs 4KB pages is the paper's case, but 64B CAMEO
+segments invert it), the dispatcher notifies each covered segment
+exactly once per transition of the segment between fully-free and
+partially-allocated, tracked with per-segment allocated-page counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Protocol
+
+from repro.stats import CounterSet
+
+
+class IsaNotifier(Protocol):
+    """Hardware-side receiver of ISA-Alloc / ISA-Free."""
+
+    def isa_alloc(self, segment_id: int) -> None:
+        """The OS allocated (part of) segment ``segment_id``."""
+
+    def isa_free(self, segment_id: int) -> None:
+        """The OS freed the last allocated page of ``segment_id``."""
+
+
+class NullNotifier:
+    """Notifier used for architectures without ISA support (baselines)."""
+
+    def isa_alloc(self, segment_id: int) -> None:  # noqa: D102
+        pass
+
+    def isa_free(self, segment_id: int) -> None:  # noqa: D102
+        pass
+
+
+class PageHookDispatcher:
+    """Translates page-granularity OS events into per-segment ISA calls.
+
+    The paper's segments (2KB) are smaller than pages (4KB/2MB), so each
+    page event covers ``page_bytes // segment_bytes`` whole segments and
+    maps 1:1 onto Algorithm 1/2's loop.  The dispatcher also handles the
+    inverted case (segments larger than pages) by reference-counting
+    pages per segment: ISA-Alloc fires when a segment gains its first
+    allocated page, ISA-Free when it loses its last — the only sound
+    reading of "allocated" for a multi-page segment.
+    """
+
+    def __init__(
+        self,
+        segment_bytes: int,
+        page_bytes: int,
+        notifier: IsaNotifier,
+        counters: CounterSet | None = None,
+    ) -> None:
+        if segment_bytes <= 0 or page_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if segment_bytes & (segment_bytes - 1) or page_bytes & (page_bytes - 1):
+            raise ValueError("sizes must be powers of two")
+        self.segment_bytes = segment_bytes
+        self.page_bytes = page_bytes
+        self.notifier = notifier
+        self.counters = counters if counters is not None else CounterSet()
+        self._pages_per_segment = max(1, segment_bytes // page_bytes)
+        self._segment_page_refs: Dict[int, int] = defaultdict(int)
+
+    def page_allocated(self, address: int, page_bytes: int | None = None) -> None:
+        """Algorithm 1: the OS allocated the page at ``address``."""
+        size = page_bytes if page_bytes is not None else self.page_bytes
+        self._check(address, size)
+        if self.segment_bytes <= size:
+            # One or more whole segments per page: the paper's loop.
+            for segment_id in self._covered_segments(address, size):
+                self.notifier.isa_alloc(segment_id)
+                self.counters.add("isa.alloc")
+        else:
+            segment_id = address // self.segment_bytes
+            pages = size // self.page_bytes
+            previous = self._segment_page_refs[segment_id]
+            self._segment_page_refs[segment_id] = previous + pages
+            if previous == 0:
+                self.notifier.isa_alloc(segment_id)
+                self.counters.add("isa.alloc")
+
+    def page_freed(self, address: int, page_bytes: int | None = None) -> None:
+        """Algorithm 2: the OS freed the page at ``address``."""
+        size = page_bytes if page_bytes is not None else self.page_bytes
+        self._check(address, size)
+        if self.segment_bytes <= size:
+            for segment_id in self._covered_segments(address, size):
+                self.notifier.isa_free(segment_id)
+                self.counters.add("isa.free")
+        else:
+            segment_id = address // self.segment_bytes
+            pages = size // self.page_bytes
+            remaining = self._segment_page_refs[segment_id] - pages
+            if remaining < 0:
+                raise ValueError(
+                    f"segment {segment_id} freed more pages than allocated"
+                )
+            self._segment_page_refs[segment_id] = remaining
+            if remaining == 0:
+                del self._segment_page_refs[segment_id]
+                self.notifier.isa_free(segment_id)
+                self.counters.add("isa.free")
+
+    def _covered_segments(self, address: int, size: int):
+        first = address // self.segment_bytes
+        count = size // self.segment_bytes
+        return range(first, first + count)
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        if size % self.page_bytes:
+            raise ValueError(
+                f"page size {size} not a multiple of base page "
+                f"{self.page_bytes}"
+            )
+        if address % size:
+            raise ValueError(f"address {address:#x} not aligned to {size:#x}")
+
+    @property
+    def isa_alloc_count(self) -> float:
+        return self.counters["isa.alloc"]
+
+    @property
+    def isa_free_count(self) -> float:
+        return self.counters["isa.free"]

@@ -1,0 +1,171 @@
+"""Datacenter job scheduling against OS-visible memory (Section I).
+
+The paper motivates PoM capacity with datacenter throughput: exposing
+the stacked DRAM lets the scheduler admit more jobs, cutting queue
+waiting time.  This module models that argument end to end:
+
+* :class:`Job` — a submission with a declared memory demand and a
+  service time;
+* :class:`MemoryBoundScheduler` — FIFO-with-backfill admission against
+  a fixed OS-visible capacity (jobs run concurrently while their
+  declared demands fit);
+* :func:`simulate_queue` — runs a submission list to completion and
+  reports makespan, mean waiting time and mean turnaround — the
+  quantities the paper's first bullet claims PoM improves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submitted job."""
+
+    name: str
+    memory_bytes: int
+    runtime_seconds: float
+    submit_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("job needs memory")
+        if self.runtime_seconds <= 0:
+            raise ValueError("job needs runtime")
+        if self.submit_seconds < 0:
+            raise ValueError("submit time must be non-negative")
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one job through the queue."""
+
+    job: Job
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def waiting_seconds(self) -> float:
+        return self.start_seconds - self.job.submit_seconds
+
+    @property
+    def turnaround_seconds(self) -> float:
+        return self.end_seconds - self.job.submit_seconds
+
+
+@dataclass
+class QueueReport:
+    """Aggregate queue statistics (the Section I throughput argument)."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    rejected: List[Job] = field(default_factory=list)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max((r.end_seconds for r in self.records), default=0.0)
+
+    @property
+    def mean_waiting_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.waiting_seconds for r in self.records) / len(self.records)
+
+    @property
+    def mean_turnaround_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.turnaround_seconds for r in self.records) / len(
+            self.records
+        )
+
+
+class MemoryBoundScheduler:
+    """FIFO admission with backfill against an OS-visible capacity."""
+
+    def __init__(self, capacity_bytes: int, allow_backfill: bool = True):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.allow_backfill = allow_backfill
+
+    def simulate_queue(self, jobs: Sequence[Job]) -> QueueReport:
+        """Run a submission list to completion.
+
+        Jobs too large for the machine are rejected outright (the
+        pathological page-fault scenario the paper's second bullet
+        describes is modelled separately by the paging engine; here the
+        scheduler refuses what cannot fit).
+        """
+        report = QueueReport()
+        pending: List[Job] = []
+        for job in sorted(jobs, key=lambda j: (j.submit_seconds, j.name)):
+            if job.memory_bytes > self.capacity_bytes:
+                report.rejected.append(job)
+            else:
+                pending.append(job)
+
+        running: List[tuple[float, int, Job]] = []  # (end, tiebreak, job)
+        used = 0
+        clock = 0.0
+        tiebreak = 0
+
+        def finish_due(until: Optional[float]) -> None:
+            nonlocal used, clock
+            while running and (until is None or running[0][0] <= until):
+                end, _, done = heapq.heappop(running)
+                clock = max(clock, end)
+                used -= done.memory_bytes
+
+        while pending:
+            progressed = False
+            index = 0
+            while index < len(pending):
+                job = pending[index]
+                fits = (
+                    job.submit_seconds <= clock
+                    and used + job.memory_bytes <= self.capacity_bytes
+                )
+                if fits:
+                    start = clock
+                    end = start + job.runtime_seconds
+                    heapq.heappush(running, (end, tiebreak, job))
+                    tiebreak += 1
+                    used += job.memory_bytes
+                    report.records.append(
+                        JobRecord(job=job, start_seconds=start, end_seconds=end)
+                    )
+                    pending.pop(index)
+                    progressed = True
+                    if not self.allow_backfill:
+                        break
+                else:
+                    if not self.allow_backfill and job.submit_seconds <= clock:
+                        # Strict FIFO: the head blocks the queue.
+                        break
+                    index += 1
+            if progressed:
+                continue
+            # Nothing admitted: advance time to the next event.
+            next_submit = min(
+                (j.submit_seconds for j in pending if j.submit_seconds > clock),
+                default=None,
+            )
+            if running:
+                next_end = running[0][0]
+                if next_submit is None or next_end <= next_submit:
+                    finish_due(next_end)
+                    continue
+            if next_submit is not None:
+                clock = next_submit
+                continue
+            if running:
+                finish_due(None)
+                continue
+            raise RuntimeError(
+                "scheduler stalled with pending jobs and no events"
+            )
+        finish_due(None)
+        return report

@@ -1,0 +1,103 @@
+"""NUMA nodes and the first-touch (local) allocation policy.
+
+In the emulated single-socket heterogeneous system the stacked DRAM is
+NUMA node 0 (4GB) and the off-chip DRAM node 1 (20GB), as configured
+with ``numa=fake=1*4096,1*20480`` in Section III-A.  The first-touch
+allocator fills the fast node before spilling to the slow node — the
+behaviour whose low stacked-DRAM hit rate Figure 2a quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.osmodel.buddy import BuddyAllocator, OutOfMemoryError
+from repro.stats import CounterSet
+
+
+@dataclass
+class NumaNode:
+    """One NUMA node: a named physical range with its own buddy allocator."""
+
+    node_id: int
+    name: str
+    allocator: BuddyAllocator
+
+    @property
+    def base(self) -> int:
+        return self.allocator.base
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.allocator.capacity_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.capacity_bytes
+
+
+def make_hetero_nodes(
+    fast_bytes: int, slow_bytes: int
+) -> tuple[NumaNode, NumaNode]:
+    """The paper's layout: fast node at [0, F), slow node at [F, F+S)."""
+    fast = NumaNode(0, "stacked", BuddyAllocator(fast_bytes, base=0))
+    slow = NumaNode(1, "offchip", BuddyAllocator(slow_bytes, base=fast_bytes))
+    return fast, slow
+
+
+class FirstTouchAllocator:
+    """Linux "local"/first-touch policy over an ordered node list.
+
+    Tasks run on the socket attached to node 0, so allocations prefer
+    node 0 (the stacked DRAM) and spill to later nodes when it is full —
+    producing exactly the under-utilisation pathology of Section III-A1:
+    whatever happens to be touched first occupies the fast memory with
+    no regard to hotness.
+    """
+
+    def __init__(
+        self, nodes: List[NumaNode], counters: CounterSet | None = None
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.nodes = list(nodes)
+        self.counters = counters if counters is not None else CounterSet()
+
+    def allocate(self, size: int) -> int:
+        order = self._order_for(size)
+        for node in self.nodes:
+            try:
+                address = node.allocator.alloc(order)
+            except OutOfMemoryError:
+                continue
+            self.counters.add(f"numa.alloc_node{node.node_id}")
+            return address
+        raise OutOfMemoryError(f"no node can satisfy {size} bytes")
+
+    def free(self, address: int) -> None:
+        for node in self.nodes:
+            if node.contains(address):
+                node.allocator.free(address)
+                self.counters.add(f"numa.free_node{node.node_id}")
+                return
+        raise ValueError(f"address {address:#x} outside all nodes")
+
+    def node_of(self, address: int) -> NumaNode:
+        for node in self.nodes:
+            if node.contains(address):
+                return node
+        raise ValueError(f"address {address:#x} outside all nodes")
+
+    def _order_for(self, size: int) -> int:
+        page = self.nodes[0].allocator.page_bytes
+        pages = -(-size // page)
+        order = max(0, (pages - 1).bit_length())
+        return order
+
+    def free_bytes(self) -> int:
+        return sum(node.allocator.free_bytes for node in self.nodes)
+
+    def fast_hit_rate(self, fast_accesses: float, total_accesses: float) -> float:
+        if not total_accesses:
+            return 0.0
+        return fast_accesses / total_accesses

@@ -1,0 +1,19 @@
+"""Simulation driver: wire workloads, OS, and architectures together.
+
+:func:`repro.sim.engine.simulate` replays a multiprogrammed workload
+against a memory architecture — issuing the up-front ISA-Alloc stream,
+interleaving the 12 per-core access streams by instruction progress,
+charging page faults when the footprint exceeds the design's OS-visible
+capacity, and rolling per-core stats into the paper's metrics
+(geomean IPC, stacked hit rate, swaps, AMAT).
+"""
+
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.os_designs import AutoNumaMemory, FirstTouchMemory
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "AutoNumaMemory",
+    "FirstTouchMemory",
+]

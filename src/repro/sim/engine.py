@@ -1,0 +1,190 @@
+"""The end-to-end workload simulator.
+
+Replays a multiprogrammed workload against a memory architecture: the
+up-front ISA-Alloc stream, a warm-up phase (Section VI-A), then the
+measured window, with the 12 per-core access streams merged in global
+time order so the device models always see monotonic arrivals.  Designs
+whose OS-visible capacity is smaller than the address space get an
+LRU-paged resident set charging the Table I SSD fault latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.base import MemoryArchitecture
+from repro.config import SystemConfig
+from repro.cpu import CoreRunStats, MulticoreModel, WorkloadPerformance
+from repro.osmodel.vm import PageFaultEngine
+from repro.stats import CounterSet
+import heapq
+
+from repro.workloads.multiprog import MultiprogramWorkload
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiment runners need from one run."""
+
+    workload: str
+    architecture: str
+    performance: WorkloadPerformance
+    fast_hit_rate: float
+    average_latency_ns: float
+    swaps: float
+    page_faults: int
+    counters: CounterSet = field(repr=False)
+    cache_mode_fraction: Optional[float] = None
+
+    @property
+    def geomean_ipc(self) -> float:
+        return self.performance.geomean_ipc
+
+    def average_latency_cycles(self, config: SystemConfig) -> float:
+        return self.average_latency_ns * 1e-9 * config.core.frequency_hz
+
+
+def simulate(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    accesses_per_core: int,
+    apply_isa: bool = True,
+    warmup_per_core: int | None = None,
+) -> SimulationResult:
+    """Run ``workload`` on ``architecture`` and summarise.
+
+    Follows the paper's methodology: the workload's footprint is fully
+    allocated up front (one ISA-Alloc per segment for co-designed
+    hardware), the remap tables and caches are warmed with
+    ``warmup_per_core`` unmeasured accesses per core (default: half the
+    measured count — "our workloads are fast-forwarded ... and caches
+    are warmed-up", Section VI-A), then a fixed number of post-LLC
+    accesses per core is replayed, interleaved across the 12 cores in
+    global time order.  When the footprint exceeds the design's
+    OS-visible capacity, an LRU-paged resident set charges the Table I
+    SSD fault latency and remaps faulted pages into the visible range.
+    """
+    config = workload.config
+    if warmup_per_core is None:
+        warmup_per_core = accesses_per_core // 2
+    if apply_isa:
+        workload.apply_allocations(architecture)
+
+    # OS address translation / paging: designs whose OS-visible capacity
+    # is smaller than the workload's address space (caches, small flat
+    # baselines) get an LRU pager that both maps pages into the visible
+    # range and charges SSD faults when the footprint overflows it.
+    pager: Optional[PageFaultEngine] = None
+    if architecture.os_visible_bytes < config.total_capacity_bytes:
+        pager = PageFaultEngine(
+            capacity_bytes=architecture.os_visible_bytes,
+            page_bytes=config.page_bytes,
+            fault_latency_cycles=config.page_fault_latency_cycles,
+        )
+        # The allocation phase touched the whole footprint once, so a
+        # footprint larger than the visible capacity starts execution
+        # with its coldest pages already swapped out.
+        pager.prime(
+            segment * config.segment_bytes for segment in workload.segments
+        )
+
+    per_core = [CoreRunStats() for _ in range(workload.num_copies)]
+    ns_per_instruction = (
+        config.core.base_cpi / config.core.frequency_hz * 1e9
+    )
+    fault_ns = (
+        config.page_fault_latency_cycles / config.core.frequency_hz * 1e9
+    )
+    # Closed-loop timing: each core carries its own clock, advanced by
+    # the instruction gap, by page-fault stalls, and by the
+    # MLP-overlapped share of each miss latency — so cores naturally
+    # throttle when the memory system backs up instead of piling
+    # unbounded queueing onto the devices.
+    # Accesses are issued in global time order (a heap over the per-core
+    # clocks), so the device models always see monotonic arrivals and a
+    # core that stalls on faults or slow memory naturally falls behind.
+    core_clock_ns = [0.0] * workload.num_copies
+    mlp = config.core.mlp
+
+    streams = [
+        iter(s) for s in workload.streams(warmup_per_core + accesses_per_core)
+    ]
+
+    def run_phase(budget_per_core: int, record_stats: bool) -> None:
+        # Two-phase scheduling: popping a core first *prepares* its next
+        # access (advancing its clock past the instruction gap and any
+        # page fault) and re-queues it at the prepared issue time; the
+        # access is only presented to the devices when that time is the
+        # global minimum, so device arrivals stay monotonic even across
+        # fault jumps.
+        if budget_per_core <= 0:
+            return
+        remaining = [budget_per_core] * workload.num_copies
+        prepared: list[Optional[tuple]] = [None] * workload.num_copies
+        heap: list[tuple[float, int]] = sorted(
+            (core_clock_ns[core], core)
+            for core in range(workload.num_copies)
+        )
+        while heap:
+            issue_ns, core = heapq.heappop(heap)
+            pending = prepared[core]
+            if pending is None:
+                if remaining[core] <= 0:
+                    continue
+                record = next(streams[core], None)
+                if record is None:
+                    continue
+                remaining[core] -= 1
+                stats = per_core[core]
+                if record_stats:
+                    stats.instructions += record.icount_gap
+                clock = core_clock_ns[core] + (
+                    record.icount_gap * ns_per_instruction
+                )
+                address = record.address
+                if pager is not None:
+                    fault_cycles, address = pager.access_translate(
+                        record.address
+                    )
+                    if fault_cycles:
+                        if record_stats:
+                            stats.page_faults += 1
+                            stats.fault_cycles += fault_cycles
+                        clock += fault_ns
+                prepared[core] = (address, record.is_write)
+                core_clock_ns[core] = clock
+                heapq.heappush(heap, (clock, core))
+                continue
+
+            prepared[core] = None
+            address, is_write = pending
+            result = architecture.access(address, issue_ns, is_write)
+            if record_stats:
+                stats = per_core[core]
+                stats.memory_accesses += 1
+                stats.memory_latency_ns += result.latency_ns
+            core_clock_ns[core] = issue_ns + result.latency_ns / mlp
+            heapq.heappush(heap, (core_clock_ns[core], core))
+
+    run_phase(warmup_per_core, record_stats=False)
+    architecture.counters.reset()
+    run_phase(accesses_per_core, record_stats=True)
+
+    model = MulticoreModel(config)
+    performance = model.summarize(workload.name, per_core)
+    cache_fraction = None
+    mode_distribution = getattr(architecture, "mode_distribution", None)
+    if callable(mode_distribution):
+        cache_fraction = mode_distribution()[0]
+    return SimulationResult(
+        workload=workload.name,
+        architecture=architecture.name,
+        performance=performance,
+        fast_hit_rate=architecture.fast_hit_rate,
+        average_latency_ns=architecture.average_latency_ns,
+        swaps=architecture.swap_count,
+        page_faults=performance.page_faults,
+        counters=architecture.counters,
+        cache_mode_fraction=cache_fraction,
+    )

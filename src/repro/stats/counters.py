@@ -1,0 +1,107 @@
+"""Named event counters.
+
+Every component of the simulator owns a :class:`CounterSet`.  Counters are
+created lazily on first increment, names are dot-separated
+(``"dram.fast.row_hits"``), and sets can be merged, snapshotted, and
+diffed — the experiment runners diff per-epoch snapshots to build
+timelines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping
+
+
+class CounterSet:
+    """A bag of named, monotonically increasing numeric counters."""
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: Dict[str, float] = defaultdict(float)
+        if initial:
+            for name, value in initial.items():
+                self._counts[name] = float(value)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._counts.items()))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``, 0.0 when the denominator is zero."""
+        denom = self[denominator]
+        return self[numerator] / denom if denom else 0.0
+
+    def fraction_of_total(self, name: str, *names: str) -> float:
+        """``name`` as a fraction of the sum of ``name`` plus ``names``."""
+        total = self[name] + sum(self[other] for other in names)
+        return self[name] / total if total else 0.0
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        """Return a new set with the element-wise sum of both sets."""
+        merged = CounterSet(self._counts)
+        for name, value in other._counts.items():
+            merged._counts[name] += value
+        return merged
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def diff(self, earlier: Mapping[str, float]) -> Dict[str, float]:
+        """Per-counter delta since an earlier :meth:`snapshot`."""
+        out: Dict[str, float] = {}
+        for name, value in self._counts.items():
+            delta = value - earlier.get(name, 0.0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def scoped(self, prefix: str) -> "ScopedCounters":
+        """A view that prepends ``prefix + '.'`` to every counter name."""
+        return ScopedCounters(self, prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"CounterSet({inner})"
+
+
+class ScopedCounters:
+    """Prefixing facade over a :class:`CounterSet`.
+
+    Lets a sub-component increment ``"row_hits"`` while the shared set
+    records ``"dram.fast.row_hits"``.
+    """
+
+    def __init__(self, parent: CounterSet, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._parent.add(f"{self._prefix}.{name}", amount)
+
+    def __getitem__(self, name: str) -> float:
+        return self._parent[f"{self._prefix}.{name}"]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        return self._parent.ratio(
+            f"{self._prefix}.{numerator}", f"{self._prefix}.{denominator}"
+        )

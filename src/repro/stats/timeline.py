@@ -1,0 +1,84 @@
+"""Per-epoch time series used for the paper's timeline figures.
+
+Figure 2c (AutoNUMA migrations and hit rate per 10M-cycle epoch) and
+Figure 3 (free memory sampled every two minutes over 53.8 hours) are both
+(time, value) series with named channels; :class:`Timeline` holds any
+number of aligned channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class Timeline:
+    """Aligned multi-channel time series sampled at explicit times."""
+
+    def __init__(self, channels: Sequence[str]) -> None:
+        if not channels:
+            raise ValueError("timeline needs at least one channel")
+        if len(set(channels)) != len(channels):
+            raise ValueError("channel names must be unique")
+        self._channels = list(channels)
+        self._times: List[float] = []
+        self._values: Dict[str, List[float]] = {name: [] for name in channels}
+
+    @property
+    def channels(self) -> List[str]:
+        return list(self._channels)
+
+    def sample(self, time: float, **values: float) -> None:
+        """Append one sample; every channel must be supplied."""
+        missing = set(self._channels) - set(values)
+        extra = set(values) - set(self._channels)
+        if missing or extra:
+            raise ValueError(
+                f"sample channels mismatch (missing={sorted(missing)}, "
+                f"unknown={sorted(extra)})"
+            )
+        if self._times and time < self._times[-1]:
+            raise ValueError("samples must be appended in time order")
+        self._times.append(time)
+        for name in self._channels:
+            self._values[name].append(float(values[name]))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    def series(self, channel: str) -> List[float]:
+        return list(self._values[channel])
+
+    def rows(self) -> Iterable[Tuple[float, Dict[str, float]]]:
+        for index, time in enumerate(self._times):
+            yield time, {
+                name: self._values[name][index] for name in self._channels
+            }
+
+    def last(self, channel: str) -> float:
+        values = self._values[channel]
+        if not values:
+            raise IndexError("timeline is empty")
+        return values[-1]
+
+    def peak(self, channel: str) -> Tuple[float, float]:
+        """(time, value) of the maximum sample of ``channel``."""
+        values = self._values[channel]
+        if not values:
+            raise IndexError("timeline is empty")
+        index = max(range(len(values)), key=values.__getitem__)
+        return self._times[index], values[index]
+
+    def minimum(self, channel: str) -> Tuple[float, float]:
+        values = self._values[channel]
+        if not values:
+            raise IndexError("timeline is empty")
+        index = min(range(len(values)), key=values.__getitem__)
+        return self._times[index], values[index]
+
+    def mean(self, channel: str) -> float:
+        values = self._values[channel]
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,63 @@
+"""Trace inspection CLI.
+
+Characterise a stored trace file (the Table II quantities)::
+
+    python -m repro.trace path/to/trace.gz
+
+Or synthesise-and-characterise a catalogue benchmark::
+
+    python -m repro.trace --benchmark mcf --accesses 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import scaled_config
+from repro.trace.io import read_trace
+from repro.trace.stats import characterize
+from repro.workloads import benchmark, build_workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Characterise a memory-access trace.",
+    )
+    parser.add_argument("path", nargs="?", help="trace file (gzip)")
+    parser.add_argument(
+        "--benchmark",
+        help="synthesise a Table II benchmark instead of reading a file",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=20_000,
+        help="accesses to synthesise with --benchmark",
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        config = scaled_config()
+        workload = build_workload(config, benchmark(args.benchmark))
+        records = workload.generators()[0].stream(args.accesses)
+        label = f"{args.benchmark} (synthetic, {args.accesses} accesses)"
+    elif args.path:
+        records = read_trace(args.path)
+        label = args.path
+    else:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: give a trace path or --benchmark NAME", file=sys.stderr
+        )
+        return 2
+
+    profile = characterize(records)
+    print(label)
+    print(profile.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

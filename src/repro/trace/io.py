@@ -1,0 +1,45 @@
+"""Trace file round-trip.
+
+Traces are stored as gzip-compressed text, one record per line:
+``address is_write icount_gap`` with the address in hex.  The format is
+deliberately trivial — it diffs well, greps well, and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.trace.records import AccessRecord
+
+_MAGIC = "#repro-trace-v1"
+
+
+def write_trace(path: str | Path, records: Iterable[AccessRecord]) -> int:
+    """Write ``records`` to ``path``; returns the number written."""
+    path = Path(path)
+    count = 0
+    with gzip.open(path, "wt", encoding="ascii") as handle:
+        handle.write(_MAGIC + "\n")
+        for record in records:
+            handle.write(
+                f"{record.address:x} {int(record.is_write)} {record.icount_gap}\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[AccessRecord]:
+    """Lazily yield the records stored at ``path``."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="ascii") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _MAGIC:
+            raise ValueError(f"{path} is not a repro trace (header {header!r})")
+        for line_number, line in enumerate(handle, start=2):
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: malformed record {line!r}")
+            address, is_write, gap = parts
+            yield AccessRecord(int(address, 16), bool(int(is_write)), int(gap))

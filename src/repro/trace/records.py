@@ -1,0 +1,38 @@
+"""Trace record definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One memory access in a per-core trace.
+
+    Attributes
+    ----------
+    address:
+        Byte address in the core's *OS physical* address space.  The
+        architecture under test translates it (remap tables, cache
+        placement) to a device location.
+    is_write:
+        Store (``True``) or load (``False``).
+    icount_gap:
+        Instructions committed since the previous record of the same
+        stream; encodes memory intensity (MPKI) without storing every
+        instruction.
+    """
+
+    address: int
+    is_write: bool = False
+    icount_gap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.icount_gap < 0:
+            raise ValueError("icount_gap must be non-negative")
+
+    def shifted(self, offset: int) -> "AccessRecord":
+        """The same access relocated by ``offset`` bytes."""
+        return AccessRecord(self.address + offset, self.is_write, self.icount_gap)

@@ -1,0 +1,113 @@
+"""Trace characterisation: the Table II quantities from any trace.
+
+Given an access stream, :func:`characterize` measures the properties
+the synthetic generator is parameterised by — MPKI, footprint, write
+fraction, spatial run lengths, temporal reuse skew — so real or
+synthetic traces can be compared against the Table II catalogue, and
+new workload personalities can be fitted from recorded traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.config import CACHELINE_BYTES, PAGE_BYTES
+from repro.trace.records import AccessRecord
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Measured characteristics of one access stream."""
+
+    accesses: int
+    instructions: int
+    write_fraction: float
+    footprint_bytes: int
+    distinct_pages: int
+    mean_run_length: float
+    #: Fraction of accesses landing on the hottest 10% of touched pages
+    #: (temporal skew; 0.1 means uniform).
+    top_decile_share: float
+    #: Fraction of accesses whose page was seen before (reuse).
+    reuse_fraction: float
+
+    @property
+    def mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.accesses / self.instructions * 1000.0
+
+    def summary(self) -> str:
+        return (
+            f"accesses={self.accesses:,} instructions={self.instructions:,} "
+            f"MPKI={self.mpki:.2f} writes={self.write_fraction:.1%} "
+            f"footprint={self.footprint_bytes / (1 << 20):.2f}MB "
+            f"pages={self.distinct_pages:,} "
+            f"run={self.mean_run_length:.1f} lines "
+            f"top10%={self.top_decile_share:.1%} "
+            f"reuse={self.reuse_fraction:.1%}"
+        )
+
+
+def characterize(
+    records: Iterable[AccessRecord],
+    page_bytes: int = PAGE_BYTES,
+) -> TraceProfile:
+    """Measure a stream (consumes it)."""
+    accesses = 0
+    instructions = 0
+    writes = 0
+    page_counts: Counter = Counter()
+    seen_pages = set()
+    reuse_hits = 0
+    runs: List[int] = []
+    current_run = 0
+    previous_line = None
+
+    for record in records:
+        accesses += 1
+        instructions += record.icount_gap
+        if record.is_write:
+            writes += 1
+        page = record.address // page_bytes
+        if page in seen_pages:
+            reuse_hits += 1
+        seen_pages.add(page)
+        page_counts[page] += 1
+        line = record.address // CACHELINE_BYTES
+        if previous_line is not None and line == previous_line + 1:
+            current_run += 1
+        else:
+            if current_run:
+                runs.append(current_run)
+            current_run = 1
+        previous_line = line
+    if current_run:
+        runs.append(current_run)
+
+    if not accesses:
+        return TraceProfile(
+            accesses=0,
+            instructions=0,
+            write_fraction=0.0,
+            footprint_bytes=0,
+            distinct_pages=0,
+            mean_run_length=0.0,
+            top_decile_share=0.0,
+            reuse_fraction=0.0,
+        )
+
+    ranked = sorted(page_counts.values(), reverse=True)
+    top = max(1, len(ranked) // 10)
+    return TraceProfile(
+        accesses=accesses,
+        instructions=instructions,
+        write_fraction=writes / accesses,
+        footprint_bytes=len(seen_pages) * page_bytes,
+        distinct_pages=len(seen_pages),
+        mean_run_length=sum(runs) / len(runs),
+        top_decile_share=sum(ranked[:top]) / accesses,
+        reuse_fraction=reuse_hits / accesses,
+    )

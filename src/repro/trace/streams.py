@@ -1,0 +1,62 @@
+"""Stream utilities: interleaving per-core traces and bounding them."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.trace.records import AccessRecord
+
+
+def take(records: Iterable[AccessRecord], limit: int) -> Iterator[AccessRecord]:
+    """At most the first ``limit`` records."""
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    for index, record in enumerate(records):
+        if index >= limit:
+            return
+        yield record
+
+
+def truncate_instructions(
+    records: Iterable[AccessRecord], max_instructions: int
+) -> Iterator[AccessRecord]:
+    """Stop the stream once ``max_instructions`` have been committed.
+
+    Mirrors the paper's methodology of simulating a fixed 500M
+    instructions per application.
+    """
+    committed = 0
+    for record in records:
+        committed += record.icount_gap
+        if committed > max_instructions:
+            return
+        yield record
+
+
+def interleave(
+    streams: Sequence[Iterable[AccessRecord]],
+) -> Iterator[Tuple[int, AccessRecord]]:
+    """Merge per-core streams by instruction progress.
+
+    Yields ``(core_id, record)`` in the order the accesses would be
+    issued if all cores commit instructions at the same rate — the same
+    round-robin-by-icount interleaving GEM5's simple multi-core
+    interleaving produces for rate-mode workloads.
+    """
+    iterators: List[Iterator[AccessRecord]] = [iter(s) for s in streams]
+    heap: List[Tuple[int, int, AccessRecord]] = []
+    progress = [0] * len(iterators)
+    for core_id, iterator in enumerate(iterators):
+        record = next(iterator, None)
+        if record is not None:
+            progress[core_id] += record.icount_gap
+            heap.append((progress[core_id], core_id, record))
+    heapq.heapify(heap)
+    while heap:
+        _, core_id, record = heapq.heappop(heap)
+        yield core_id, record
+        nxt = next(iterators[core_id], None)
+        if nxt is not None:
+            progress[core_id] += nxt.icount_gap
+            heapq.heappush(heap, (progress[core_id], core_id, nxt))

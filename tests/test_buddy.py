@@ -1,0 +1,164 @@
+"""Tests for the buddy physical-page allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import KB, MB, PAGE_BYTES
+from repro.osmodel import BuddyAllocator, OutOfMemoryError
+
+
+class TestBuddyBasics:
+    def test_alloc_returns_aligned_addresses(self):
+        buddy = BuddyAllocator(1 * MB)
+        for order in range(4):
+            address = buddy.alloc(order)
+            assert address % (PAGE_BYTES << order) == 0
+            buddy.free(address)
+
+    def test_alloc_free_restores_capacity(self):
+        buddy = BuddyAllocator(1 * MB)
+        before = buddy.free_bytes
+        address = buddy.alloc(3)
+        assert buddy.free_bytes == before - (PAGE_BYTES << 3)
+        buddy.free(address)
+        assert buddy.free_bytes == before
+
+    def test_distinct_allocations_do_not_overlap(self):
+        buddy = BuddyAllocator(256 * KB)
+        blocks = [(buddy.alloc(1), PAGE_BYTES << 1) for _ in range(16)]
+        spans = sorted(blocks)
+        for (a, size_a), (b, _) in zip(spans, spans[1:]):
+            assert a + size_a <= b
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(64 * KB)
+        for _ in range(16):
+            buddy.alloc(0)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(0)
+
+    def test_coalescing_rebuilds_max_order(self):
+        buddy = BuddyAllocator(1 * MB)
+        addresses = [buddy.alloc(0) for _ in range(256)]
+        for address in addresses:
+            buddy.free(address)
+        assert buddy.largest_free_order() == buddy.max_order
+
+    def test_fragmentation_limits_large_orders(self):
+        buddy = BuddyAllocator(64 * KB)  # 16 pages
+        held = [buddy.alloc(0) for _ in range(16)]
+        # Free every other page: 8 pages free but no order-1 block.
+        for address in held[::2]:
+            buddy.free(address)
+        assert buddy.free_pages == 8
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(1)
+
+    def test_double_free_rejected(self):
+        buddy = BuddyAllocator(64 * KB)
+        address = buddy.alloc(0)
+        buddy.free(address)
+        with pytest.raises(ValueError):
+            buddy.free(address)
+
+    def test_free_unallocated_rejected(self):
+        buddy = BuddyAllocator(64 * KB)
+        with pytest.raises(ValueError):
+            buddy.free(0)
+
+    def test_free_unaligned_rejected(self):
+        buddy = BuddyAllocator(64 * KB)
+        with pytest.raises(ValueError):
+            buddy.free(123)
+
+    def test_base_offset(self):
+        base = 16 * MB
+        buddy = BuddyAllocator(64 * KB, base=base)
+        address = buddy.alloc(0)
+        assert address >= base
+        buddy.free(address)
+
+    def test_alloc_bytes(self):
+        buddy = BuddyAllocator(64 * KB)
+        pages = buddy.alloc_bytes(10 * 1024)
+        assert len(pages) == 3  # ceil(10KB / 4KB)
+
+    def test_alloc_bytes_overflow(self):
+        buddy = BuddyAllocator(16 * KB)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_bytes(1 * MB)
+
+    def test_is_allocated(self):
+        buddy = BuddyAllocator(64 * KB)
+        address = buddy.alloc(1)
+        assert buddy.is_allocated(address)
+        assert buddy.is_allocated(address + PAGE_BYTES)
+        buddy.free(address)
+        assert not buddy.is_allocated(address)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(0)
+        with pytest.raises(ValueError):
+            BuddyAllocator(PAGE_BYTES + 1)
+        with pytest.raises(ValueError):
+            BuddyAllocator(64 * KB, base=100)
+
+    def test_invalid_order(self):
+        buddy = BuddyAllocator(64 * KB)
+        with pytest.raises(ValueError):
+            buddy.alloc(-1)
+        with pytest.raises(ValueError):
+            buddy.alloc(buddy.max_order + 1)
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocs (by order) and frees (by index)."""
+    steps = draw(st.integers(min_value=1, max_value=60))
+    script = []
+    live = 0
+    for _ in range(steps):
+        if live and draw(st.booleans()):
+            script.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            script.append(("alloc", draw(st.integers(0, 3))))
+            live += 1
+    return script
+
+
+class TestBuddyProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_random_scripts(self, script):
+        buddy = BuddyAllocator(512 * KB)
+        live = []
+        for action, value in script:
+            if action == "alloc":
+                try:
+                    live.append((buddy.alloc(value), value))
+                except OutOfMemoryError:
+                    pass
+            else:
+                if live:
+                    address, _ = live.pop(value % len(live))
+                    buddy.free(address)
+            buddy.check_invariants()
+        expected_free = buddy.num_pages - sum(1 << order for _, order in live)
+        assert buddy.free_pages == expected_free
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_full_drain_and_refill(self, order):
+        buddy = BuddyAllocator(256 * KB)
+        addresses = []
+        while True:
+            try:
+                addresses.append(buddy.alloc(order))
+            except OutOfMemoryError:
+                break
+        assert buddy.free_pages < (1 << order)
+        for address in addresses:
+            buddy.free(address)
+        buddy.check_invariants()
+        assert buddy.free_pages == buddy.num_pages

@@ -1,0 +1,212 @@
+"""Tests for the buffer cache (Section V-D3) and job scheduler
+(Section I) OS substrates."""
+
+import pytest
+
+from repro.config import KB, MB, PAGE_BYTES
+from repro.osmodel import BuddyAllocator
+from repro.osmodel.buffer_cache import BufferCache
+from repro.osmodel.hooks import PageHookDispatcher
+from repro.osmodel.jobsched import Job, MemoryBoundScheduler
+
+
+class RecordingNotifier:
+    def __init__(self):
+        self.allocs = []
+        self.frees = []
+
+    def isa_alloc(self, segment_id):
+        self.allocs.append(segment_id)
+
+    def isa_free(self, segment_id):
+        self.frees.append(segment_id)
+
+
+def make_cache(capacity_pages=8):
+    buddy = BuddyAllocator(capacity_pages * PAGE_BYTES)
+    notifier = RecordingNotifier()
+    dispatcher = PageHookDispatcher(2 * KB, PAGE_BYTES, notifier)
+
+    def allocate():
+        address = buddy.alloc(0)
+        dispatcher.page_allocated(address)
+        return address
+
+    def free(address):
+        dispatcher.page_freed(address)
+        buddy.free(address)
+
+    cache = BufferCache(allocate, free)
+    return cache, buddy, notifier
+
+
+class TestBufferCache:
+    def test_miss_then_hit(self):
+        cache, _, _ = make_cache()
+        assert not cache.read(7)
+        assert cache.read(7)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_reads_fire_isa_alloc(self):
+        cache, _, notifier = make_cache()
+        cache.read(1)
+        # Section V-D3: buffer-cache pages notify hardware like any
+        # other allocation.
+        assert len(notifier.allocs) == PAGE_BYTES // (2 * KB)
+
+    def test_eviction_fires_isa_free(self):
+        cache, _, notifier = make_cache()
+        cache.read(1)
+        cache.evict(1)
+        assert notifier.frees
+
+    def test_grows_into_free_memory(self):
+        cache, buddy, _ = make_cache(capacity_pages=8)
+        for block in range(8):
+            cache.read(block)
+        assert cache.cached_pages == 8
+        assert buddy.free_pages == 0
+
+    def test_self_reclaims_under_its_own_pressure(self):
+        cache, _, _ = make_cache(capacity_pages=4)
+        for block in range(10):
+            cache.read(block)
+        # The cache never exceeds physical memory; oldest blocks left.
+        assert cache.cached_pages == 4
+        assert not cache.read(0)  # evicted long ago
+        assert cache.read(9)
+
+    def test_reclaim_returns_memory_to_allocator(self):
+        cache, buddy, _ = make_cache(capacity_pages=8)
+        for block in range(8):
+            cache.read(block)
+        freed = cache.evict(3)
+        assert freed == 3
+        assert buddy.free_pages == 3
+
+    def test_dirty_pages_write_back_on_reclaim(self):
+        cache, _, _ = make_cache(capacity_pages=2)
+        cache.write(1)
+        cache.write(2)
+        cache.evict(2)
+        assert cache.counters["buffercache.writebacks"] == 2
+
+    def test_clean_pages_evicted_before_dirty(self):
+        cache, _, _ = make_cache(capacity_pages=4)
+        cache.write(1)   # dirty
+        cache.read(2)    # clean
+        cache.read(3)    # clean
+        cache.evict(2)
+        # Dirty block 1 survives; clean 2 and 3 went first.
+        assert cache.read(1)
+        assert cache.counters["buffercache.writebacks"] == 0
+
+    def test_drop_all(self):
+        cache, buddy, _ = make_cache(capacity_pages=6)
+        for block in range(5):
+            cache.read(block)
+        assert cache.drop_all() == 5
+        assert cache.cached_pages == 0
+        assert buddy.free_pages == 6
+
+    def test_bypass_when_no_memory_at_all(self):
+        buddy = BuddyAllocator(2 * PAGE_BYTES)
+
+        def allocate():
+            return buddy.alloc(0)
+
+        cache = BufferCache(allocate, buddy.free)
+        held = [buddy.alloc(0), buddy.alloc(0)]  # exhaust externally
+        assert not cache.read(1)
+        assert cache.counters["buffercache.bypasses"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferCache(lambda: 0, lambda a: None, max_pages=0)
+
+    def test_max_pages_cap(self):
+        cache, buddy, _ = make_cache(capacity_pages=8)
+        cache.max_pages = 3
+        for block in range(6):
+            cache.read(block)
+        assert cache.cached_pages <= 3
+        assert buddy.free_pages >= 5
+
+
+class TestJobScheduler:
+    def test_all_jobs_fit_run_concurrently(self):
+        scheduler = MemoryBoundScheduler(10 * MB)
+        jobs = [Job(f"j{i}", 2 * MB, 100.0) for i in range(5)]
+        report = scheduler.simulate_queue(jobs)
+        assert report.makespan_seconds == pytest.approx(100.0)
+        assert report.mean_waiting_seconds == pytest.approx(0.0)
+
+    def test_capacity_serialises_queue(self):
+        scheduler = MemoryBoundScheduler(4 * MB)
+        jobs = [Job(f"j{i}", 2 * MB, 100.0) for i in range(4)]
+        report = scheduler.simulate_queue(jobs)
+        assert report.makespan_seconds == pytest.approx(200.0)
+        assert report.mean_waiting_seconds > 0.0
+
+    def test_more_visible_memory_cuts_waiting_time(self):
+        # The Section I claim: PoM capacity (24 units) vs cache-visible
+        # capacity (20 units) admits more jobs concurrently.
+        jobs = [Job(f"j{i}", 6 * MB, 100.0) for i in range(8)]
+        cache_like = MemoryBoundScheduler(20 * MB).simulate_queue(jobs)
+        pom_like = MemoryBoundScheduler(24 * MB).simulate_queue(jobs)
+        assert (
+            pom_like.mean_waiting_seconds < cache_like.mean_waiting_seconds
+        )
+        assert pom_like.makespan_seconds <= cache_like.makespan_seconds
+
+    def test_oversized_job_rejected(self):
+        scheduler = MemoryBoundScheduler(4 * MB)
+        report = scheduler.simulate_queue([Job("huge", 8 * MB, 10.0)])
+        assert [job.name for job in report.rejected] == ["huge"]
+        assert not report.records
+
+    def test_backfill_lets_small_jobs_pass(self):
+        scheduler = MemoryBoundScheduler(4 * MB, allow_backfill=True)
+        jobs = [
+            Job("big-1", 3 * MB, 100.0, submit_seconds=0.0),
+            Job("big-2", 3 * MB, 100.0, submit_seconds=0.0),
+            Job("small", 1 * MB, 10.0, submit_seconds=0.0),
+        ]
+        report = scheduler.simulate_queue(jobs)
+        small = next(r for r in report.records if r.job.name == "small")
+        assert small.start_seconds == pytest.approx(0.0)
+
+    def test_strict_fifo_blocks_behind_head(self):
+        scheduler = MemoryBoundScheduler(4 * MB, allow_backfill=False)
+        jobs = [
+            Job("big-1", 3 * MB, 100.0),
+            Job("big-2", 3 * MB, 100.0),
+            Job("small", 1 * MB, 10.0),
+        ]
+        report = scheduler.simulate_queue(jobs)
+        small = next(r for r in report.records if r.job.name == "small")
+        assert small.start_seconds >= 100.0
+
+    def test_submission_times_respected(self):
+        scheduler = MemoryBoundScheduler(4 * MB)
+        report = scheduler.simulate_queue(
+            [Job("late", 1 * MB, 10.0, submit_seconds=50.0)]
+        )
+        record = report.records[0]
+        assert record.start_seconds == pytest.approx(50.0)
+        assert record.waiting_seconds == pytest.approx(0.0)
+
+    def test_turnaround_includes_waiting(self):
+        scheduler = MemoryBoundScheduler(2 * MB)
+        jobs = [Job("a", 2 * MB, 10.0), Job("b", 2 * MB, 10.0)]
+        report = scheduler.simulate_queue(jobs)
+        b = next(r for r in report.records if r.job.name == "b")
+        assert b.turnaround_seconds == pytest.approx(20.0)
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            Job("x", 0, 1.0)
+        with pytest.raises(ValueError):
+            Job("x", 1, 0.0)
+        with pytest.raises(ValueError):
+            MemoryBoundScheduler(0)

@@ -1,0 +1,211 @@
+"""Tests for the SRAM cache hierarchy substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import KB, CacheLevelConfig, scaled_config
+from repro.cachesim import (
+    AccessOutcome,
+    Cache,
+    CacheHierarchy,
+    LruPolicy,
+    RandomPolicy,
+)
+from repro.trace import AccessRecord
+
+
+def tiny_cache(capacity_kb=1, ways=2, line=64):
+    return Cache(CacheLevelConfig(capacity_kb * KB, ways, line_bytes=line))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        outcome, _ = cache.access(0)
+        assert outcome is AccessOutcome.MISS
+        outcome, _ = cache.access(0)
+        assert outcome is AccessOutcome.HIT
+
+    def test_line_granularity(self):
+        cache = tiny_cache()
+        cache.access(0)
+        outcome, _ = cache.access(63)
+        assert outcome is AccessOutcome.HIT
+        outcome, _ = cache.access(64)
+        assert outcome is AccessOutcome.MISS
+
+    def test_lru_eviction_order(self):
+        # 2-way set: fill two lines of one set, touch first, insert third.
+        cache = tiny_cache(capacity_kb=1, ways=2)
+        sets = cache.config.num_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64  # same set, different tags
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        _, eviction = cache.access(c)
+        assert eviction is not None
+        assert eviction.address == b
+
+    def test_dirty_eviction_reported(self):
+        cache = tiny_cache(ways=1)
+        sets = cache.config.num_sets
+        cache.access(0, is_write=True)
+        _, eviction = cache.access(sets * 64)
+        assert eviction is not None and eviction.dirty
+
+    def test_clean_eviction_not_dirty(self):
+        cache = tiny_cache(ways=1)
+        sets = cache.config.num_sets
+        cache.access(0, is_write=False)
+        _, eviction = cache.access(sets * 64)
+        assert eviction is not None and not eviction.dirty
+
+    def test_write_hit_marks_dirty(self):
+        cache = tiny_cache(ways=1)
+        sets = cache.config.num_sets
+        cache.access(0)
+        cache.access(0, is_write=True)
+        _, eviction = cache.access(sets * 64)
+        assert eviction.dirty
+
+    def test_lookup_does_not_mutate(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0)
+        cache.access(0)
+        assert cache.lookup(0)
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.lookup(0)
+        assert not cache.invalidate(0)
+
+    def test_hit_rate(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = tiny_cache(capacity_kb=1, ways=2)
+        for i in range(100):
+            cache.access(i * 64)
+        assert cache.occupancy() <= 1 * KB // 64
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_invariant_random_streams(self, addresses):
+        cache = tiny_cache(capacity_kb=1, ways=4)
+        for address in addresses:
+            cache.access(address)
+        assert cache.occupancy() <= 16
+        # Every address in the residual set must still be locatable.
+        assert cache.occupancy() > 0
+
+
+class TestReplacementPolicies:
+    def test_lru_victim_is_oldest(self):
+        policy = LruPolicy()
+        state = []
+        for way in (0, 1, 2):
+            policy.on_access(state, way)
+        assert policy.victim(state) == 0
+
+    def test_lru_touch_moves_to_back(self):
+        policy = LruPolicy()
+        state = []
+        for way in (0, 1):
+            policy.on_access(state, way)
+        policy.on_access(state, 0)
+        assert policy.victim(state) == 1
+
+    def test_lru_empty_raises(self):
+        with pytest.raises(ValueError):
+            LruPolicy().victim([])
+
+    def test_random_policy_deterministic_with_seed(self):
+        a, b = RandomPolicy(seed=7), RandomPolicy(seed=7)
+        state = [0, 1, 2, 3]
+        assert [a.victim(state) for _ in range(10)] == [
+            b.victim(state) for _ in range(10)
+        ]
+
+    def test_random_policy_victims_valid(self):
+        policy = RandomPolicy(seed=1)
+        state = [0, 1, 2]
+        for _ in range(20):
+            assert policy.victim(state) in state
+
+
+class TestCacheHierarchy:
+    def setup_method(self):
+        self.config = scaled_config()
+        self.hierarchy = CacheHierarchy(self.config, num_cores=2)
+
+    def test_miss_reaches_memory(self):
+        miss, memory = self.hierarchy.access(0, 0x1000)
+        assert miss and len(memory) == 1
+
+    def test_l1_hit_filters(self):
+        self.hierarchy.access(0, 0x1000)
+        miss, memory = self.hierarchy.access(0, 0x1000)
+        assert not miss and memory == []
+
+    def test_cross_core_l3_sharing(self):
+        self.hierarchy.access(0, 0x1000)
+        # Core 1 misses its private levels but hits the shared L3.
+        miss, _ = self.hierarchy.access(1, 0x1000)
+        assert not miss
+
+    def test_filter_stream_preserves_gaps_up_to_last_miss(self):
+        # Gaps of hit records fold into the next miss; a stream ending
+        # in a miss therefore preserves the full instruction count.
+        records = [AccessRecord(i * 4096, icount_gap=10) for i in range(200)]
+        filtered = list(self.hierarchy.filter_stream(0, records))
+        total_gap = sum(r.icount_gap for r in filtered)
+        assert total_gap == sum(r.icount_gap for r in records)
+
+    def test_filter_stream_drops_trailing_hit_gaps(self):
+        # Instructions after the final LLC miss have no record to ride
+        # on; they are dropped (documented behaviour).
+        records = [AccessRecord(0x40, icount_gap=10)] * 5
+        filtered = list(self.hierarchy.filter_stream(0, records))
+        assert sum(r.icount_gap for r in filtered) == 10
+
+    def test_filter_stream_only_yields_misses(self):
+        records = [AccessRecord(0x40, icount_gap=1)] * 10
+        filtered = list(self.hierarchy.filter_stream(0, records))
+        assert len(filtered) == 1
+
+    def test_measure_reports_mpki(self):
+        records = [AccessRecord(i * 4096, icount_gap=100) for i in range(50)]
+        result = self.hierarchy.measure(0, records)
+        assert result.instructions == 5000
+        assert result.llc_misses == 50
+        assert result.llc_mpki == pytest.approx(10.0)
+
+    def test_measure_zero_instructions(self):
+        result = self.hierarchy.measure(0, [])
+        assert result.llc_mpki == 0.0
+        assert result.llc_miss_rate == 0.0
+
+    def test_dirty_llc_writebacks_reach_memory(self):
+        hierarchy = CacheHierarchy(self.config, num_cores=1)
+        # Write a line, then stream enough conflicting lines to evict it
+        # through all levels.
+        hierarchy.access(0, 0, is_write=True)
+        writebacks = 0
+        sets = hierarchy.l3.config.num_sets
+        for i in range(1, 64):
+            _, memory = hierarchy.access(0, i * sets * 64)
+            writebacks += sum(1 for record in memory if record.is_write)
+        assert writebacks >= 1
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(self.config, num_cores=0)

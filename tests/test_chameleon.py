@@ -1,0 +1,220 @@
+"""Tests for the basic Chameleon co-design (Figures 8-11).
+
+The transition tests mirror the paper's worked examples: Figure 9
+(ISA-Alloc of the stacked segment) and Figure 11 (ISA-Free of a
+remapped stacked segment).
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.arch.remap import Mode
+from repro.core import ChameleonArchitecture
+
+
+@pytest.fixture
+def config():
+    return scaled_config(fast_mb=1.0)
+
+
+@pytest.fixture
+def arch(config):
+    return ChameleonArchitecture(config)
+
+
+def group_members(arch, group):
+    """OS segment ids of a group's members, local order."""
+    return [
+        arch.geometry.segment_at(group, local)
+        for local in range(arch.geometry.segments_per_group)
+    ]
+
+
+def address_of(arch, segment, offset=0):
+    return segment * arch.geometry.segment_bytes + offset
+
+
+class TestBootState:
+    def test_groups_boot_in_cache_mode_with_clear_abv(self, arch):
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        assert not any(state.abv)
+        assert state.cached is None
+
+
+class TestIsaAllocTransitions:
+    def test_offchip_alloc_keeps_mode(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE  # flow 1-2-4-5
+        assert state.abv[1]
+
+    def test_stacked_alloc_caching_nothing_enters_pom(self, arch):
+        # Figure 9: tag bits 00, nothing cached -> straight to PoM mode.
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[0])
+        state = arch.group_state(0)
+        assert state.mode is Mode.POM
+        assert state.abv[0]
+        assert arch.counters["chameleon.to_pom"] == 1
+
+    def test_stacked_alloc_evicts_clean_cached_segment(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        # Read-only access caches segment local 1 (clean).
+        arch.access(address_of(arch, members[1]), 0.0, is_write=False)
+        assert arch.group_state(0).cached == 1
+        swaps_before = arch.swap_count
+        arch.isa_alloc(members[0])
+        state = arch.group_state(0)
+        assert state.mode is Mode.POM
+        assert state.cached is None
+        # Clean eviction: no writeback swap charged.
+        assert arch.swap_count == swaps_before
+
+    def test_stacked_alloc_writes_back_dirty_cached_segment(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.access(address_of(arch, members[1]), 0.0, is_write=True)
+        assert arch.group_state(0).dirty
+        arch.isa_alloc(members[0])
+        assert arch.counters["chameleon.dirty_evictions"] >= 1
+
+    def test_security_clear_on_transition(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[0])
+        assert arch.counters["chameleon.segments_cleared"] >= 1
+
+
+class TestIsaFreeTransitions:
+    def test_offchip_free_keeps_mode(self, arch):
+        members = group_members(arch, 0)
+        for member in members:
+            arch.isa_alloc(member)
+        assert arch.group_state(0).mode is Mode.POM
+        arch.isa_free(members[2])
+        state = arch.group_state(0)
+        assert state.mode is Mode.POM  # basic design: off-chip free ignored
+        assert not state.abv[2]
+
+    def test_stacked_free_not_remapped_enters_cache(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[0])
+        arch.isa_free(members[0])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        assert not state.abv[0]
+        assert state.seg_at[0] == 0  # tags back to 00
+
+    def test_stacked_free_remapped_swaps_back_first(self, arch):
+        # Figure 11: the stacked segment was hot-swapped off-chip; the
+        # free must proactively restore it to slot 0.
+        members = group_members(arch, 0)
+        for member in members:
+            arch.isa_alloc(member)
+        # Hammer an off-chip member until the competing counter swaps it
+        # into the stacked slot.
+        target = members[3]
+        for i in range(200):
+            arch.access(address_of(arch, target), float(i) * 1e4)
+            if arch.group_state(0).slot_of[3] == 0:
+                break
+        state = arch.group_state(0)
+        assert state.slot_of[0] != 0, "precondition: local 0 displaced"
+        swaps_before = arch.counters["chameleon.restore_swaps"]
+        arch.isa_free(members[0])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        assert state.seg_at[0] == 0  # restored to slot 0 before freeing
+        assert arch.counters["chameleon.restore_swaps"] == swaps_before + 1
+
+
+class TestCacheModeDemandPath:
+    def test_miss_then_hit(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        first = arch.access(address_of(arch, members[1]), 0.0)
+        assert not first.fast_hit
+        second = arch.access(address_of(arch, members[1]), 1e5)
+        assert second.fast_hit
+        assert arch.counters["chameleon.cache_hits"] >= 1
+
+    def test_fill_on_first_access_no_threshold(self, arch):
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.access(address_of(arch, members[1]), 0.0)
+        assert arch.group_state(0).cached == 1
+        assert arch.counters["chameleon.fills"] == 1
+
+    def test_pom_mode_group_uses_competing_counter(self, arch):
+        members = group_members(arch, 0)
+        for member in members:
+            arch.isa_alloc(member)
+        # In PoM mode no cache fills may happen.
+        arch.access(address_of(arch, members[1]), 0.0)
+        assert arch.counters["chameleon.fills"] == 0
+
+    def test_protect_policy_resists_pingpong(self, config):
+        arch = ChameleonArchitecture(config, fill_policy="protect")
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.isa_alloc(members[2])
+        # Alternate single accesses between two hot segments; the
+        # incumbent keeps hitting so it must never be evicted.
+        arch.access(address_of(arch, members[1]), 0.0)
+        fills_after_first = arch.counters["chameleon.fills"]
+        for i in range(20):
+            arch.access(address_of(arch, members[1]), 1e4 * (i + 1))
+            arch.access(address_of(arch, members[2]), 1e4 * (i + 1) + 5e3)
+        assert arch.counters["chameleon.fills"] == fills_after_first
+
+    def test_always_policy_fills_every_miss(self, config):
+        arch = ChameleonArchitecture(config, fill_policy="always")
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.isa_alloc(members[2])
+        for i in range(6):
+            arch.access(address_of(arch, members[1]), 1e5 * i)
+            arch.access(address_of(arch, members[2]), 1e5 * i + 5e4)
+        assert arch.counters["chameleon.fills"] >= 10
+
+    def test_invalid_fill_policy_rejected(self, config):
+        with pytest.raises(ValueError):
+            ChameleonArchitecture(config, fill_policy="bogus")
+
+    def test_dirty_fill_eviction_counts_as_swap(self, config):
+        arch = ChameleonArchitecture(config, fill_policy="always")
+        members = group_members(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.isa_alloc(members[2])
+        arch.access(address_of(arch, members[1]), 0.0, is_write=True)
+        swaps_before = arch.swap_count
+        arch.access(address_of(arch, members[2]), 1e6)
+        assert arch.swap_count == swaps_before + 1
+
+
+class TestModeDistribution:
+    def test_empty_distribution_is_all_cache(self, arch):
+        assert arch.mode_distribution() == (1.0, 0.0)
+
+    def test_distribution_tracks_allocations(self, arch):
+        members0 = group_members(arch, 0)
+        members1 = group_members(arch, 1)
+        arch.isa_alloc(members0[0])  # group 0 -> PoM
+        arch.isa_alloc(members1[1])  # group 1 stays cache
+        cache_fraction, pom_fraction = arch.mode_distribution()
+        assert cache_fraction == pytest.approx(0.5)
+        assert pom_fraction == pytest.approx(0.5)
+
+    def test_full_alloc_free_round_trip(self, arch):
+        members = group_members(arch, 7)
+        for member in members:
+            arch.isa_alloc(member)
+        assert arch.group_state(7).mode is Mode.POM
+        for member in members:
+            arch.isa_free(member)
+        state = arch.group_state(7)
+        assert state.mode is Mode.CACHE
+        assert not any(state.abv)
+        state.validate()

@@ -1,0 +1,172 @@
+"""Tests for Chameleon-Opt (Figures 12-14): proactive remapping."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.arch.remap import Mode
+from repro.core import ChameleonOptArchitecture
+
+
+@pytest.fixture
+def arch():
+    return ChameleonOptArchitecture(scaled_config(fast_mb=1.0))
+
+
+def members_of(arch, group):
+    return [
+        arch.geometry.segment_at(group, local)
+        for local in range(arch.geometry.segments_per_group)
+    ]
+
+
+def address_of(arch, segment):
+    return segment * arch.geometry.segment_bytes
+
+
+class TestCacheModeInvariant:
+    """Cache mode iff any segment free; free segment parks in slot 0."""
+
+    def assert_invariant(self, arch, group):
+        state = arch.group_state(group)
+        if state.mode is Mode.CACHE:
+            assert state.any_free
+            resident = state.resident_of_fast()
+            assert not state.abv[resident], (
+                "cache-mode stacked slot must hold a free segment"
+            )
+        else:
+            assert not state.any_free
+
+    def test_figure13_scenario(self, arch):
+        """ISA-Alloc of the stacked segment A with C free: A is
+        proactively remapped to C's slot, group stays in cache mode."""
+        members = members_of(arch, 0)
+        # B (local 1) allocated; A (local 0) and the rest free.
+        arch.isa_alloc(members[1])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        arch.isa_alloc(members[0])  # allocate the stacked segment A
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE, "Opt keeps caching (Figure 13b)"
+        assert state.slot_of[0] != 0, "A proactively remapped off-chip"
+        assert not state.abv[state.resident_of_fast()]
+        assert arch.counters["chameleon_opt.proactive_remaps"] == 1
+        self.assert_invariant(arch, 0)
+
+    def test_alloc_last_free_segment_enters_pom(self, arch):
+        members = members_of(arch, 0)
+        for member in members[:-1]:
+            arch.isa_alloc(member)
+        assert arch.group_state(0).mode is Mode.CACHE
+        arch.isa_alloc(members[-1])
+        state = arch.group_state(0)
+        assert state.mode is Mode.POM
+        assert not state.any_free
+
+    def test_offchip_alloc_keeps_cache_while_free_remains(self, arch):
+        members = members_of(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.isa_alloc(members[2])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        self.assert_invariant(arch, 0)
+
+    def test_invariant_over_random_isa_sequences(self, arch):
+        import random
+
+        rng = random.Random(7)
+        for group in range(4):
+            members = members_of(arch, group)
+            allocated = set()
+            for _ in range(60):
+                member = rng.choice(members)
+                if member in allocated:
+                    arch.isa_free(member)
+                    allocated.remove(member)
+                else:
+                    arch.isa_alloc(member)
+                    allocated.add(member)
+                self.assert_invariant(arch, group)
+                arch.group_state(group).validate()
+
+
+class TestIsaFree:
+    def test_offchip_free_in_pom_mode_reenables_cache(self, arch):
+        members = members_of(arch, 0)
+        for member in members:
+            arch.isa_alloc(member)
+        assert arch.group_state(0).mode is Mode.POM
+        swaps = arch.counters["chameleon.restore_swaps"]
+        arch.isa_free(members[2])  # off-chip segment
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        # The allocated stacked resident moved into the freed slot.
+        assert not state.abv[state.resident_of_fast()]
+        assert arch.counters["chameleon.restore_swaps"] == swaps + 1
+
+    def test_free_of_slot0_resident_needs_no_movement(self, arch):
+        members = members_of(arch, 0)
+        # Allocate the off-chip members first so that when the stacked
+        # segment is allocated last there is no free slot to remap it
+        # into: local 0 stays resident in slot 0.
+        for member in members[1:]:
+            arch.isa_alloc(member)
+        arch.isa_alloc(members[0])
+        assert arch.group_state(0).slot_of[0] == 0
+        swaps_before = arch.swap_count
+        arch.isa_free(members[0])  # local 0 still resides in slot 0
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        assert state.resident_of_fast() == 0
+        assert arch.swap_count == swaps_before
+
+    def test_free_of_cached_segment_drops_cache(self, arch):
+        members = members_of(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.access(address_of(arch, members[1]), 0.0, is_write=True)
+        assert arch.group_state(0).cached == 1
+        arch.isa_free(members[1])
+        state = arch.group_state(0)
+        assert state.cached is None
+        assert not state.dirty
+
+    def test_free_in_cache_mode_only_clears_abv(self, arch):
+        members = members_of(arch, 0)
+        arch.isa_alloc(members[1])
+        arch.isa_alloc(members[2])
+        arch.isa_free(members[2])
+        state = arch.group_state(0)
+        assert state.mode is Mode.CACHE
+        assert not state.abv[2]
+
+
+class TestOptVsBasicHarvest:
+    def test_opt_harvests_offchip_free_space(self, arch):
+        """A fully-allocated-stacked group with one free off-chip
+        segment caches under Opt but not under basic Chameleon."""
+        from repro.core import ChameleonArchitecture
+
+        basic = ChameleonArchitecture(scaled_config(fast_mb=1.0))
+        for design in (arch, basic):
+            members = members_of(design, 0)
+            for member in members[:-1]:  # leave the last off-chip free
+                design.isa_alloc(member)
+        assert arch.group_state(0).mode is Mode.CACHE
+        assert basic.group_state(0).mode is Mode.POM
+
+    def test_opt_cache_fraction_dominates_basic(self, arch):
+        from repro.core import ChameleonArchitecture
+        import random
+
+        basic = ChameleonArchitecture(scaled_config(fast_mb=1.0))
+        rng = random.Random(3)
+        total = arch.geometry.total_segments
+        allocated = rng.sample(range(total), int(total * 0.9))
+        for segment in allocated:
+            arch.isa_alloc(segment)
+            basic.isa_alloc(segment)
+        # Touch every group so distributions cover the same set.
+        for group in range(arch.geometry.num_groups):
+            arch.group_state(group)
+            basic.group_state(group)
+        assert arch.mode_distribution()[0] >= basic.mode_distribution()[0]

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.experiments.runner import SMOKE_SCALE
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "table1" in out and "overhead" in out
+
+    def test_every_registered_experiment_has_a_runner(self):
+        expected = {
+            "table1", "table2", "fig2a", "fig2b", "fig2c", "fig3",
+            "fig4", "fig5", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "fig22", "fig23", "overhead",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Stacked DRAM" in capsys.readouterr().out
+
+    def test_overhead_runs(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "ISA events" in capsys.readouterr().out
+
+    def test_fig15_with_scale_flags(self, capsys):
+        code = main(
+            ["fig15", "--accesses", "150", "--warmup", "150", "--fast-mb", "1"]
+        )
+        assert code == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+    def test_fig2c_series_output(self, capsys):
+        code = main(
+            ["fig2c", "--accesses", "200", "--warmup", "0", "--fast-mb", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit_rate" in out

@@ -1,0 +1,135 @@
+"""Tests for the MESI coherence layer (Table I)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.cachesim.coherence import CoherentHierarchy, MesiState
+
+
+@pytest.fixture
+def hierarchy():
+    return CoherentHierarchy(scaled_config(), num_cores=4)
+
+
+ADDR = 0x4000
+
+
+class TestMesiTransitions:
+    def test_first_read_loads_exclusive(self, hierarchy):
+        hierarchy.access(0, ADDR)
+        assert hierarchy.state_of(ADDR) is MesiState.EXCLUSIVE
+        assert hierarchy.sharers_of(ADDR) == {0}
+
+    def test_second_reader_shares(self, hierarchy):
+        hierarchy.access(0, ADDR)
+        hierarchy.access(1, ADDR)
+        assert hierarchy.state_of(ADDR) is MesiState.SHARED
+        assert hierarchy.sharers_of(ADDR) == {0, 1}
+
+    def test_write_takes_modified(self, hierarchy):
+        hierarchy.access(0, ADDR, is_write=True)
+        assert hierarchy.state_of(ADDR) is MesiState.MODIFIED
+        assert hierarchy.sharers_of(ADDR) == {0}
+
+    def test_write_invalidates_sharers(self, hierarchy):
+        hierarchy.access(0, ADDR)
+        hierarchy.access(1, ADDR)
+        hierarchy.access(2, ADDR, is_write=True)
+        assert hierarchy.sharers_of(ADDR) == {2}
+        assert hierarchy.counters["mesi.invalidations"] == 2
+        # The invalidated cores' private copies are gone.
+        assert not hierarchy.l1[0].lookup(ADDR)
+        assert not hierarchy.l1[1].lookup(ADDR)
+
+    def test_invalidated_core_misses_privately(self, hierarchy):
+        hierarchy.access(0, ADDR)
+        hierarchy.access(1, ADDR, is_write=True)
+        # Core 0 must reload (L3 still has the line, so no memory trip).
+        miss, memory = hierarchy.access(0, ADDR)
+        assert not miss
+        assert hierarchy.state_of(ADDR) is MesiState.SHARED
+
+    def test_read_downgrades_modified_owner(self, hierarchy):
+        hierarchy.access(0, ADDR, is_write=True)
+        hierarchy.access(1, ADDR)
+        assert hierarchy.state_of(ADDR) is MesiState.SHARED
+        assert hierarchy.counters["mesi.downgrades"] == 1
+        assert hierarchy.counters["mesi.ownership_writebacks"] == 1
+
+    def test_write_after_write_moves_ownership(self, hierarchy):
+        hierarchy.access(0, ADDR, is_write=True)
+        hierarchy.access(1, ADDR, is_write=True)
+        assert hierarchy.state_of(ADDR) is MesiState.MODIFIED
+        assert hierarchy.sharers_of(ADDR) == {1}
+        assert hierarchy.counters["mesi.ownership_writebacks"] == 1
+
+    def test_silent_write_hit_in_modified(self, hierarchy):
+        hierarchy.access(0, ADDR, is_write=True)
+        before = hierarchy.counters.snapshot()
+        hierarchy.access(0, ADDR, is_write=True)
+        delta = hierarchy.counters.diff(before)
+        assert not any(key.startswith("mesi.") for key in delta)
+
+    def test_untouched_line_invalid(self, hierarchy):
+        assert hierarchy.state_of(0x9999) is MesiState.INVALID
+
+    def test_core_range_checked(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.access(99, ADDR)
+
+    def test_disjoint_footprints_have_no_coherence_traffic(self, hierarchy):
+        # The paper's rate-mode workloads touch disjoint pages: MESI
+        # stays silent.
+        for core in range(4):
+            for index in range(50):
+                hierarchy.access(
+                    core, 0x100000 * (core + 1) + index * 64, index % 3 == 0
+                )
+        assert hierarchy.counters["mesi.invalidations"] == 0
+        assert hierarchy.counters["mesi.downgrades"] == 0
+
+
+class TestMesiProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # core
+                st.integers(min_value=0, max_value=15),  # line index
+                st.booleans(),                           # write?
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_directory_invariants_under_random_sharing(self, events):
+        hierarchy = CoherentHierarchy(scaled_config(), num_cores=4)
+        for core, line, write in events:
+            hierarchy.access(core, line * 64, write)
+            hierarchy.validate()
+        # Every directory entry's sharers actually are caches that may
+        # hold the line (weak check: no sharer set exceeds core count).
+        for line in range(16):
+            sharers = hierarchy.sharers_of(line * 64)
+            assert len(sharers) <= 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_writer_multiple_readers(self, events):
+        hierarchy = CoherentHierarchy(scaled_config(), num_cores=4)
+        for core, write in events:
+            hierarchy.access(core, ADDR, write)
+            state = hierarchy.state_of(ADDR)
+            sharers = hierarchy.sharers_of(ADDR)
+            if state is MesiState.MODIFIED:
+                assert len(sharers) == 1  # single-writer invariant
+            hierarchy.validate()

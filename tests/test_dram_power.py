@@ -1,0 +1,108 @@
+"""Tests for the DRAM energy model."""
+
+import pytest
+
+from repro.config import MB, scaled_config, stacked_dram, offchip_dram
+from repro.dram.device import DramDevice
+from repro.dram.power import (
+    DramPowerModel,
+    DramPowerParams,
+    EnergyReport,
+    OFFCHIP_POWER,
+    STACKED_POWER,
+    params_for,
+    system_energy,
+)
+from repro.stats import CounterSet
+
+
+class TestParams:
+    def test_stacked_cheaper_per_byte(self):
+        assert (
+            STACKED_POWER.transfer_pj_per_byte
+            < OFFCHIP_POWER.transfer_pj_per_byte
+        )
+
+    def test_params_for_by_role(self):
+        assert params_for(stacked_dram(4 * MB)) is STACKED_POWER
+        assert params_for(offchip_dram(4 * MB)) is OFFCHIP_POWER
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DramPowerParams(1.0, 1.0, -1.0)
+
+
+class TestEstimation:
+    def test_idle_device_burns_only_background(self):
+        model = DramPowerModel(stacked_dram(4 * MB))
+        report = model.estimate(CounterSet(), elapsed_ns=1e6)
+        assert report.dynamic_nj == 0.0
+        assert report.background_nj > 0.0
+
+    def test_transfer_energy_scales_with_bytes(self):
+        counters = CounterSet({"dram.stacked.bytes": 1000})
+        double = CounterSet({"dram.stacked.bytes": 2000})
+        model = DramPowerModel(stacked_dram(4 * MB))
+        a = model.estimate(counters, 0.0)
+        b = model.estimate(double, 0.0)
+        assert b.transfer_nj == pytest.approx(2 * a.transfer_nj)
+
+    def test_row_cycles_charge_activates(self):
+        counters = CounterSet(
+            {"dram.stacked.row_miss": 3, "dram.stacked.row_conflict": 2}
+        )
+        model = DramPowerModel(stacked_dram(4 * MB))
+        report = model.estimate(counters, 0.0)
+        assert report.activate_nj == pytest.approx(
+            5 * STACKED_POWER.activate_nj
+        )
+
+    def test_row_hits_are_free_of_activates(self):
+        counters = CounterSet({"dram.stacked.row_hit": 100})
+        model = DramPowerModel(stacked_dram(4 * MB))
+        assert model.estimate(counters, 0.0).activate_nj == 0.0
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            DramPowerModel(stacked_dram(4 * MB)).estimate(CounterSet(), -1.0)
+
+    def test_live_device_counters_flow_through(self):
+        counters = CounterSet()
+        device = DramDevice(stacked_dram(4 * MB), counters)
+        for index in range(100):
+            device.access(index * 64, index * 10.0)
+        report = DramPowerModel(device.config).estimate(counters, 1000.0)
+        assert report.transfer_nj > 0
+        assert report.total_nj > report.dynamic_nj
+
+    def test_merge_accumulates(self):
+        a = EnergyReport("fast", 1.0, 2.0, 3.0)
+        b = EnergyReport("slow", 10.0, 20.0, 30.0)
+        merged = a.merge(b)
+        assert merged.total_nj == pytest.approx(66.0)
+
+
+class TestDesignComparison:
+    def test_fewer_swaps_means_less_movement_energy(self):
+        """Chameleon-Opt's swap reduction shows up directly as energy."""
+        from repro.arch import PoMArchitecture
+        from repro.core import ChameleonOptArchitecture
+        from repro.sim import simulate
+        from repro.workloads import benchmark, build_workload
+
+        config = scaled_config(fast_mb=1.0)
+        workload = build_workload(config, benchmark("bwaves"), num_copies=4)
+        reports = {}
+        for arch in (PoMArchitecture(config), ChameleonOptArchitecture(config)):
+            simulate(
+                arch, workload, accesses_per_core=600, warmup_per_core=600
+            )
+            reports[arch.name] = system_energy(
+                arch.counters, config.fast_mem, config.slow_mem, 1e6
+            )
+        assert (
+            reports["chameleon_opt"].transfer_nj
+            <= reports["pom"].transfer_nj * 1.05
+        )

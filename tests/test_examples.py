@@ -1,0 +1,46 @@
+"""Smoke tests for the runnable examples.
+
+The heavyweight examples (full-scale simulations) are compile-checked;
+the analytic one runs end to end.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "datacenter_scheduler.py",
+        "capacity_planning.py",
+        "mode_timeline.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "datacenter_scheduler.py",
+        "capacity_planning.py",
+        "mode_timeline.py",
+    ],
+)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+def test_capacity_planning_runs(capsys):
+    # Purely analytic: fast enough to execute in the unit suite.
+    runpy.run_path(str(EXAMPLES / "capacity_planning.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "capacity sweep" in out
+    assert "24GB" in out
+    assert "smallest fault-free capacity" in out

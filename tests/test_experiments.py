@@ -1,0 +1,187 @@
+"""Tests for the experiment runners (smoke scale)."""
+
+import pytest
+
+from repro.experiments import SMOKE_SCALE, Scale, format_series, format_table
+from repro.experiments.figures import (
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_fig21,
+    run_fig22,
+    run_fig23,
+)
+from repro.experiments.longrun_figures import run_fig3, run_fig4, run_fig5
+from repro.experiments.os_figures import run_fig2a, run_fig2b, run_fig2c
+from repro.experiments.overhead import run_overhead_analysis
+from repro.experiments.runner import (
+    DESIGNS,
+    clear_sweep_cache,
+    run_design_sweep,
+)
+from repro.experiments.tables import run_table1, run_table2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series_downsamples(self):
+        times = list(range(100))
+        text = format_series(times, {"v": times}, max_points=10)
+        assert len(text.splitlines()) <= 13
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], {"v": [1]})
+
+
+class TestRunnerInfra:
+    def test_scale_config_ratio(self):
+        assert SMOKE_SCALE.config().capacity_ratio == 5
+
+    def test_with_ratio_preserves_total(self):
+        base = SMOKE_SCALE.config().total_capacity_bytes
+        for ratio in (3, 7):
+            scaled = SMOKE_SCALE.with_ratio(ratio)
+            assert scaled.config().total_capacity_bytes == pytest.approx(
+                base, rel=0.01
+            )
+            assert scaled.config().capacity_ratio == ratio
+
+    def test_design_registry_covers_paper(self):
+        for label in (
+            "baseline_20GB_DDR3",
+            "Alloy-Cache",
+            "PoM",
+            "Chameleon",
+            "Chameleon-Opt",
+            "Polymorphic",
+            "CAMEO",
+            "numaAware",
+        ):
+            assert label in DESIGNS
+
+    def test_sweep_keys_and_cache(self):
+        clear_sweep_cache()
+        results = run_design_sweep(SMOKE_SCALE, ("PoM",))
+        assert set(results) == {
+            ("PoM", name) for name in SMOKE_SCALE.benchmarks
+        }
+        again = run_design_sweep(SMOKE_SCALE, ("PoM",))
+        first = results[("PoM", "mcf")]
+        assert again[("PoM", "mcf")] is first  # memoised
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            run_design_sweep(SMOKE_SCALE, ("NotADesign",))
+
+
+class TestMainFigures:
+    def test_fig15_hit_rate_ordering(self):
+        result = run_fig15(SMOKE_SCALE)
+        summary = result.summary
+        assert summary["Alloy-Cache"] < summary["PoM"]
+        assert summary["PoM"] <= summary["Chameleon-Opt"] + 1.0
+        assert "Average" in result.render()
+
+    def test_fig16_opt_dominates(self):
+        result = run_fig16(SMOKE_SCALE)
+        assert result.summary["Chameleon-Opt"] > result.summary["Chameleon"]
+
+    def test_fig17_swap_reduction(self):
+        result = run_fig17(SMOKE_SCALE)
+        assert result.summary["PoM"] == pytest.approx(1.0)
+        assert result.summary["Chameleon-Opt"] <= result.summary["Chameleon"]
+        assert result.summary["Chameleon"] <= 1.05
+
+    def test_fig18_baseline_normalisation(self):
+        result = run_fig18(SMOKE_SCALE)
+        assert result.summary["baseline_20GB_DDR3"] == pytest.approx(1.0)
+        # The capacity-unconstrained baseline beats the faulting one.
+        assert result.summary["baseline_24GB_DDR3"] > 1.0
+
+    def test_fig19_latency_positive(self):
+        result = run_fig19(SMOKE_SCALE)
+        for design, value in result.summary.items():
+            assert value > 0
+
+    def test_fig21_cache_fraction_grows_with_ratio(self):
+        result = run_fig21(SMOKE_SCALE, ratios=(3, 7))
+        assert result.summary["1:7"] > result.summary["1:3"]
+
+    def test_fig22_polymorphic_compared(self):
+        result = run_fig22(SMOKE_SCALE)
+        assert "cham_vs_poly_percent" in result.summary
+
+    def test_fig23_reports_both_ratios(self):
+        result = run_fig23(SMOKE_SCALE, ratios=(3, 7))
+        assert "1:3:opt_vs_pom" in result.summary
+        assert "1:7:opt_vs_pom" in result.summary
+
+
+class TestOsFigures:
+    def test_fig2a_capacity_bound_hit_rate(self):
+        result = run_fig2a(SMOKE_SCALE)
+        # First-touch hit rate sits near the stacked capacity share
+        # (1/6 of memory, ~18.5% in the paper).
+        assert 5.0 < result.summary["average"] < 45.0
+
+    def test_fig2b_runs_all_thresholds(self):
+        result = run_fig2b(SMOKE_SCALE)
+        assert len(result.summary) == 3
+
+    def test_fig2c_timeline_shape(self):
+        timeline, result = run_fig2c(SMOKE_SCALE, epoch_accesses=300)
+        assert len(timeline) >= 3
+        assert result.summary["total_migrated"] > 0
+        # Rise-then-decay: the peak is no worse than the final value.
+        assert (
+            result.summary["peak_hit_percent"]
+            >= result.summary["final_hit_percent"] - 1e-9
+        )
+
+
+class TestLongrunFigures:
+    def test_fig3_free_memory_swings(self):
+        timeline, result = run_fig3(base_seconds=600.0)
+        assert result.summary["min_free_mb"] < result.summary["max_free_mb"]
+
+    def test_fig4_improvement_monotone_then_saturates(self):
+        result = run_fig4()
+        summary = result.summary
+        assert summary["18GB"] < summary["24GB"]
+        assert summary["24GB"] == pytest.approx(summary["28GB"], abs=0.5)
+
+    def test_fig5_utilisation_rises_with_capacity(self):
+        result = run_fig5()
+        assert result.summary["util@16GB"] < result.summary["util@24GB"]
+        assert result.summary["util@24GB"] == pytest.approx(100.0, abs=0.1)
+        assert result.summary["faults_M@16GB"] > result.summary["faults_M@24GB"]
+
+
+class TestTablesAndOverhead:
+    def test_table1_renders(self):
+        result = run_table1()
+        text = result.render()
+        assert "Stacked DRAM" in text
+        assert result.summary["peak_bw_ratio"] == pytest.approx(4.0)
+
+    def test_table2_mpki_accuracy(self):
+        result = run_table2()
+        assert result.summary["max_mpki_relative_error"] < 0.05
+
+    def test_overhead_near_paper_estimate(self):
+        report = run_overhead_analysis()
+        # Paper: 1.06%; our schedule reproduces the same arithmetic.
+        assert 0.3 < report.overhead_percent < 3.0
+        assert report.isa_events > 1e8  # paper: 242.8M events

@@ -1,0 +1,131 @@
+"""Tests for the ISA-Alloc / ISA-Free hook dispatcher (Algorithms 1-2)."""
+
+import pytest
+
+from repro.config import KB, PAGE_BYTES, THP_BYTES
+from repro.osmodel import NullNotifier, PageHookDispatcher
+
+
+class RecordingNotifier:
+    def __init__(self):
+        self.allocs = []
+        self.frees = []
+
+    def isa_alloc(self, segment_id):
+        self.allocs.append(segment_id)
+
+    def isa_free(self, segment_id):
+        self.frees.append(segment_id)
+
+
+class TestSmallSegments:
+    """Paper case: 2KB segments < 4KB pages (Algorithm 1's loop)."""
+
+    def setup_method(self):
+        self.notifier = RecordingNotifier()
+        self.dispatcher = PageHookDispatcher(
+            segment_bytes=2 * KB,
+            page_bytes=PAGE_BYTES,
+            notifier=self.notifier,
+        )
+
+    def test_base_page_covers_two_segments(self):
+        self.dispatcher.page_allocated(0)
+        assert self.notifier.allocs == [0, 1]
+
+    def test_thp_covers_1024_segments(self):
+        # Algorithm 1: 2MB THP / 2KB segment = 1024 ISA-Alloc calls.
+        self.dispatcher.page_allocated(0, page_bytes=THP_BYTES)
+        assert len(self.notifier.allocs) == 1024
+        assert self.notifier.allocs == list(range(1024))
+
+    def test_free_mirrors_alloc(self):
+        self.dispatcher.page_allocated(PAGE_BYTES)
+        self.dispatcher.page_freed(PAGE_BYTES)
+        assert self.notifier.frees == [2, 3]
+
+    def test_counters(self):
+        self.dispatcher.page_allocated(0)
+        self.dispatcher.page_freed(0)
+        assert self.dispatcher.isa_alloc_count == 2
+        assert self.dispatcher.isa_free_count == 2
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            self.dispatcher.page_allocated(100)
+
+    def test_unaligned_thp_rejected(self):
+        with pytest.raises(ValueError):
+            self.dispatcher.page_allocated(PAGE_BYTES, page_bytes=THP_BYTES)
+
+
+class TestCacheLineSegments:
+    """CAMEO case: 64B segments, 64 per 4KB page (32768 per THP)."""
+
+    def test_page_covers_64_segments(self):
+        notifier = RecordingNotifier()
+        dispatcher = PageHookDispatcher(64, PAGE_BYTES, notifier)
+        dispatcher.page_allocated(0)
+        assert len(notifier.allocs) == 64
+
+    def test_thp_covers_32768_segments(self):
+        # Section IV: CAMEO's 64B segments need 32,768 invocations/THP.
+        notifier = RecordingNotifier()
+        dispatcher = PageHookDispatcher(64, PAGE_BYTES, notifier)
+        dispatcher.page_allocated(0, page_bytes=THP_BYTES)
+        assert len(notifier.allocs) == 32_768
+
+
+class TestLargeSegments:
+    """Segments larger than the base page: reference counting."""
+
+    def setup_method(self):
+        self.notifier = RecordingNotifier()
+        self.dispatcher = PageHookDispatcher(
+            segment_bytes=16 * KB,  # 4 pages per segment
+            page_bytes=PAGE_BYTES,
+            notifier=self.notifier,
+        )
+
+    def test_alloc_fires_on_first_page_only(self):
+        for page in range(4):
+            self.dispatcher.page_allocated(page * PAGE_BYTES)
+        assert self.notifier.allocs == [0]
+
+    def test_free_fires_on_last_page_only(self):
+        for page in range(4):
+            self.dispatcher.page_allocated(page * PAGE_BYTES)
+        for page in range(3):
+            self.dispatcher.page_freed(page * PAGE_BYTES)
+        assert self.notifier.frees == []
+        self.dispatcher.page_freed(3 * PAGE_BYTES)
+        assert self.notifier.frees == [0]
+
+    def test_over_free_rejected(self):
+        self.dispatcher.page_allocated(0)
+        self.dispatcher.page_freed(0)
+        with pytest.raises(ValueError):
+            self.dispatcher.page_freed(0)
+
+    def test_realloc_fires_again(self):
+        self.dispatcher.page_allocated(0)
+        self.dispatcher.page_freed(0)
+        self.dispatcher.page_allocated(0)
+        assert self.notifier.allocs == [0, 0]
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            PageHookDispatcher(3000, PAGE_BYTES, NullNotifier())
+
+    def test_negative_address_rejected(self):
+        dispatcher = PageHookDispatcher(2 * KB, PAGE_BYTES, NullNotifier())
+        with pytest.raises(ValueError):
+            dispatcher.page_allocated(-PAGE_BYTES)
+
+    def test_null_notifier_is_silent(self):
+        dispatcher = PageHookDispatcher(2 * KB, PAGE_BYTES, NullNotifier())
+        dispatcher.page_allocated(0)
+        dispatcher.page_freed(0)
+        assert dispatcher.isa_alloc_count == 2

@@ -1,0 +1,125 @@
+"""Tests for the OS-managed designs (first-touch, AutoNUMA)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.osmodel.autonuma import AutoNumaConfig
+from repro.sim import AutoNumaMemory, FirstTouchMemory
+
+
+@pytest.fixture
+def config():
+    return scaled_config(fast_mb=1.0)
+
+
+def segment_address(arch, segment):
+    return segment * arch.geometry.segment_bytes
+
+
+class TestFirstTouchMemory:
+    def test_allocation_order_placement(self, config):
+        arch = FirstTouchMemory(config)
+        nf = arch.geometry.num_fast_segments
+        # Allocate more segments than the fast node holds.
+        for segment in range(nf + 10):
+            arch.isa_alloc(segment)
+        assert arch.counters["numa.placed_fast"] == nf
+        assert arch.counters["numa.placed_slow"] == 10
+
+    def test_early_segments_hit_fast(self, config):
+        arch = FirstTouchMemory(config)
+        arch.isa_alloc(0)
+        result = arch.access(segment_address(arch, 0), 0.0)
+        assert result.fast_hit
+
+    def test_spilled_segments_stay_slow_forever(self, config):
+        arch = FirstTouchMemory(config)
+        nf = arch.geometry.num_fast_segments
+        for segment in range(nf + 1):
+            arch.isa_alloc(segment)
+        for i in range(50):
+            result = arch.access(segment_address(arch, nf), i * 1e5)
+        assert not result.fast_hit  # no migration, ever
+
+    def test_free_releases_fast_slot(self, config):
+        arch = FirstTouchMemory(config)
+        nf = arch.geometry.num_fast_segments
+        for segment in range(nf):
+            arch.isa_alloc(segment)
+        arch.isa_free(0)
+        arch.isa_alloc(nf + 1)
+        assert arch.counters["numa.placed_fast"] == nf + 1
+
+    def test_untracked_access_first_touches(self, config):
+        arch = FirstTouchMemory(config)
+        result = arch.access(segment_address(arch, 5), 0.0)
+        assert result.fast_hit  # fast node was empty
+
+
+class TestAutoNumaMemory:
+    def make(self, config, threshold=0.9, epoch=50):
+        return AutoNumaMemory(
+            config,
+            autonuma=AutoNumaConfig(threshold=threshold),
+            epoch_accesses=epoch,
+        )
+
+    def test_initial_fill_leaves_headroom(self, config):
+        arch = self.make(config)
+        nf = arch.geometry.num_fast_segments
+        for segment in range(nf):
+            arch.isa_alloc(segment)
+        assert arch.counters["numa.placed_fast"] < nf
+
+    def test_hot_remote_segment_migrates(self, config):
+        arch = self.make(config, epoch=20)
+        nf = arch.geometry.num_fast_segments
+        for segment in range(nf + 50):
+            arch.isa_alloc(segment)
+        hot = nf + 25  # placed on the slow node
+        result = None
+        for i in range(200):
+            result = arch.access(segment_address(arch, hot), i * 1e5)
+            if result.fast_hit:
+                break
+        assert result.fast_hit
+        assert arch.counters["autonuma.migrations"] >= 1
+
+    def test_migration_stops_at_capacity(self, config):
+        arch = self.make(config, epoch=20)
+        nf = arch.geometry.num_fast_segments
+        total = arch.geometry.total_segments
+        for segment in range(total):
+            arch.isa_alloc(segment)
+        # Hammer many distinct remote segments: the fast node fills,
+        # then -ENOMEM failures accumulate.
+        for i in range(3000):
+            segment = nf + (i % (total - nf))
+            arch.access(segment_address(arch, segment), i * 1e4)
+        assert arch.counters["autonuma.enomem"] >= 1
+
+    def test_higher_threshold_migrates_faster(self, config):
+        nf_segments = None
+        migrated = {}
+        for threshold in (0.7, 0.9):
+            arch = self.make(config, threshold=threshold, epoch=30)
+            nf = arch.geometry.num_fast_segments
+            for segment in range(nf + 100):
+                arch.isa_alloc(segment)
+            for i in range(600):
+                segment = nf + (i % 100)
+                arch.access(segment_address(arch, segment), i * 1e4)
+            migrated[threshold] = arch.counters["autonuma.migrations"]
+        assert migrated[0.9] >= migrated[0.7]
+
+    def test_free_releases_balancer_state(self, config):
+        arch = self.make(config)
+        arch.isa_alloc(0)
+        arch.isa_free(0)
+        arch.isa_alloc(0)  # re-alloc must not raise "already placed"
+
+    def test_epoch_validation(self, config):
+        with pytest.raises(ValueError):
+            AutoNumaMemory(config, epoch_accesses=0)
+        with pytest.raises(ValueError):
+            AutoNumaMemory(config, initial_fast_fill=0.0)

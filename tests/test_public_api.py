@@ -1,0 +1,68 @@
+"""The public API surface resolves and is importable as documented."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert major.isdigit() and minor.isdigit() and patch.isdigit()
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.config",
+            "repro.stats",
+            "repro.dram",
+            "repro.cachesim",
+            "repro.cpu",
+            "repro.trace",
+            "repro.osmodel",
+            "repro.arch",
+            "repro.core",
+            "repro.workloads",
+            "repro.sim",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.config",
+            "repro.dram.device",
+            "repro.cachesim.coherence",
+            "repro.osmodel.buddy",
+            "repro.arch.pom",
+            "repro.core.chameleon",
+            "repro.core.chameleon_opt",
+            "repro.workloads.synthetic",
+            "repro.sim.engine",
+        ],
+    )
+    def test_key_modules_have_docstrings(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 80
+
+    def test_readme_quickstart_names_exist(self):
+        # The README's quickstart imports must stay valid.
+        from repro import (
+            ChameleonOptArchitecture,
+            PoMArchitecture,
+            benchmark,
+            build_workload,
+            scaled_config,
+            simulate,
+        )
+
+        assert callable(simulate) and callable(build_workload)

@@ -1,0 +1,106 @@
+"""Tests for the cross-group shared-pool extension (Section VI-G)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.arch.remap import Mode
+from repro.core import ChameleonSharedPool
+
+
+@pytest.fixture
+def arch():
+    return ChameleonSharedPool(scaled_config(fast_mb=1.0), swap_threshold=2)
+
+
+def members_of(arch, group):
+    return [
+        arch.geometry.segment_at(group, local)
+        for local in range(arch.geometry.segments_per_group)
+    ]
+
+
+def address_of(arch, segment):
+    return segment * arch.geometry.segment_bytes
+
+
+def fill_group(arch, group):
+    for member in members_of(arch, group):
+        arch.isa_alloc(member)
+
+
+class TestBorrowing:
+    def test_full_group_borrows_idle_donor_slot(self, arch):
+        fill_group(arch, 0)  # donee: fully allocated, PoM mode
+        # Group 1 stays untouched: cache mode, >= 2 free segments.
+        assert arch.group_state(0).mode is Mode.POM
+        # Two competing hot segments: the main counter captures one in
+        # the group's own stacked slot; the runner-up lands in the
+        # borrowed slot.
+        hot = members_of(arch, 0)[2]
+        warm = members_of(arch, 0)[3]
+        hot_hit = warm_hit = False
+        for i in range(120):
+            hot_hit = arch.access(address_of(arch, hot), i * 2e5).fast_hit
+            warm_hit = arch.access(
+                address_of(arch, warm), i * 2e5 + 1e5
+            ).fast_hit
+            if hot_hit and warm_hit:
+                break
+        assert arch.counters["shared_pool.borrows"] >= 1
+        assert arch.counters["shared_pool.borrow_hits"] >= 1
+        # With one segment in the group's own stacked slot and one in
+        # the borrowed slot, both competitors end up fast.
+        assert hot_hit and warm_hit
+
+    def test_no_donor_no_borrow(self, arch):
+        # Allocate everything: no group has >= 2 free segments.
+        for group in range(arch.geometry.num_groups):
+            fill_group(arch, group)
+        target = members_of(arch, 0)[2]
+        for i in range(20):
+            arch.access(address_of(arch, target), i * 1e5)
+        assert arch.counters["shared_pool.borrows"] == 0
+
+    def test_donor_with_single_free_segment_not_eligible(self, arch):
+        fill_group(arch, 0)
+        # Group 1: allocate all but one -> exactly 1 free: not a donor.
+        for group in range(1, arch.geometry.num_groups):
+            members = members_of(arch, group)
+            for member in members[:-1]:
+                arch.isa_alloc(member)
+        target = members_of(arch, 0)[2]
+        for i in range(20):
+            arch.access(address_of(arch, target), i * 1e5)
+        assert arch.counters["shared_pool.borrows"] == 0
+
+    def test_revocation_on_donor_allocation(self, arch):
+        fill_group(arch, 0)
+        hot = members_of(arch, 0)[2]
+        warm = members_of(arch, 0)[3]
+        for i in range(120):
+            arch.access(address_of(arch, hot), i * 2e5)
+            arch.access(address_of(arch, warm), i * 2e5 + 1e5)
+            if arch.active_borrows:
+                break
+        assert arch.active_borrows == 1
+        target = warm
+        donor_group = arch._borrows[0].donor_group
+        # The donor's own stacked segment gets allocated: donor caches
+        # for itself or leaves cache mode -> borrow must be revoked.
+        fill_group(arch, donor_group)
+        arch.access(address_of(arch, target), 1e8)
+        assert arch.counters["shared_pool.revocations"] >= 1
+
+    def test_borrow_hits_count_as_fast(self, arch):
+        fill_group(arch, 0)
+        target = members_of(arch, 0)[2]
+        baseline_hits = arch.counters["arch.fast_hits"]
+        for i in range(60):
+            arch.access(address_of(arch, target), i * 1e5)
+        assert arch.counters["arch.fast_hits"] > baseline_hits
+
+    def test_inherits_opt_behaviour_for_cache_groups(self, arch):
+        members = members_of(arch, 3)
+        arch.isa_alloc(members[1])
+        arch.access(address_of(arch, members[1]), 0.0)
+        assert arch.group_state(3).cached == 1

@@ -1,0 +1,89 @@
+"""Tests for trace characterisation and its CLI."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.trace import AccessRecord, write_trace
+from repro.trace.__main__ import main as trace_main
+from repro.trace.stats import characterize
+from repro.workloads import benchmark, build_workload
+
+
+class TestCharacterize:
+    def test_empty_stream(self):
+        profile = characterize([])
+        assert profile.accesses == 0
+        assert profile.mpki == 0.0
+
+    def test_counts_and_mpki(self):
+        records = [AccessRecord(i * 4096, icount_gap=100) for i in range(10)]
+        profile = characterize(records)
+        assert profile.accesses == 10
+        assert profile.instructions == 1000
+        assert profile.mpki == pytest.approx(10.0)
+
+    def test_write_fraction(self):
+        records = [
+            AccessRecord(0, is_write=(i % 4 == 0)) for i in range(100)
+        ]
+        profile = characterize(records)
+        assert profile.write_fraction == pytest.approx(0.25)
+
+    def test_footprint_page_granular(self):
+        records = [AccessRecord(page * 4096) for page in range(7)]
+        profile = characterize(records)
+        assert profile.distinct_pages == 7
+        assert profile.footprint_bytes == 7 * 4096
+
+    def test_sequential_run_length(self):
+        # Two runs of 5 sequential lines each.
+        records = [AccessRecord(i * 64) for i in range(5)]
+        records += [AccessRecord(0x100000 + i * 64) for i in range(5)]
+        profile = characterize(records)
+        assert profile.mean_run_length == pytest.approx(5.0)
+
+    def test_random_pattern_run_length_one(self):
+        records = [AccessRecord(i * 640) for i in range(20)]  # stride 10
+        profile = characterize(records)
+        assert profile.mean_run_length == pytest.approx(1.0)
+
+    def test_skew_detection(self):
+        hot = [AccessRecord(0)] * 90
+        cold = [AccessRecord(page * 4096) for page in range(1, 11)]
+        profile = characterize(hot + cold)
+        assert profile.top_decile_share > 0.8
+
+    def test_reuse_fraction(self):
+        records = [AccessRecord(0), AccessRecord(64), AccessRecord(4096)]
+        profile = characterize(records)
+        # Second access to page 0 is a reuse; the others are first
+        # touches.
+        assert profile.reuse_fraction == pytest.approx(1 / 3)
+
+    def test_synthetic_matches_catalogue_mpki(self):
+        config = scaled_config()
+        spec = benchmark("GemsFDTD")
+        workload = build_workload(config, spec)
+        profile = characterize(workload.generators()[0].stream(5000))
+        assert profile.mpki == pytest.approx(spec.llc_mpki, rel=0.1)
+        assert profile.write_fraction == pytest.approx(
+            spec.write_fraction, abs=0.15
+        )
+
+
+class TestTraceCli:
+    def test_characterise_file(self, tmp_path, capsys):
+        path = tmp_path / "t.gz"
+        write_trace(path, [AccessRecord(i * 64, icount_gap=10) for i in range(50)])
+        assert trace_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "MPKI" in out
+
+    def test_synthesise_benchmark(self, capsys):
+        assert trace_main(["--benchmark", "mcf", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "MPKI" in out
+
+    def test_requires_input(self, capsys):
+        assert trace_main([]) == 2
+        assert "error" in capsys.readouterr().err
