@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.config import SystemConfig
 from repro.cpu.core import CoreRunStats, CoreTimingModel
 from repro.stats import geomean
+
+#: Version of the :meth:`WorkloadPerformance.to_dict` wire format.
+PERFORMANCE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -18,6 +21,32 @@ class WorkloadPerformance:
     per_core_ipc: List[float]
     average_latency_ns: float
     page_faults: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned plain-dict form (the disk-cache wire format)."""
+        return {
+            "schema": PERFORMANCE_SCHEMA_VERSION,
+            "name": self.name,
+            "per_core_ipc": list(self.per_core_ipc),
+            "average_latency_ns": self.average_latency_ns,
+            "page_faults": self.page_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadPerformance":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        schema = data.get("schema")
+        if schema != PERFORMANCE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported WorkloadPerformance schema {schema!r} "
+                f"(expected {PERFORMANCE_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            per_core_ipc=list(data["per_core_ipc"]),
+            average_latency_ns=data["average_latency_ns"],
+            page_faults=data["page_faults"],
+        )
 
     @property
     def geomean_ipc(self) -> float:

@@ -29,10 +29,14 @@ Fig 23    :func:`repro.experiments.figures.run_fig23`
 ========  =====================================================
 """
 
+from repro.experiments.designs import REGISTRY, DesignRegistry, DesignSpec
 from repro.experiments.runner import Scale, SMOKE_SCALE, DEFAULT_SCALE
 from repro.experiments.reporting import format_table, format_series
 
 __all__ = [
+    "DesignRegistry",
+    "DesignSpec",
+    "REGISTRY",
     "Scale",
     "SMOKE_SCALE",
     "DEFAULT_SCALE",

@@ -8,6 +8,27 @@ Regenerate any of the paper's tables/figures from a shell::
     python -m repro.experiments all
 
 Figures run at the benchmark default scale unless overridden.
+
+Sweep execution goes through :mod:`repro.runtime`:
+
+``--jobs N``
+    Fan the independent (design, workload) cells out across ``N``
+    worker processes (default 1 = serial; results are bit-identical at
+    any worker count).
+``--cache-dir PATH``
+    Where the persistent result cache lives (default:
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``).  A warm cache
+    serves repeat runs without re-simulating — the ``[runtime]``
+    summary printed after each run shows cells simulated vs served.
+``--no-cache``
+    Disable the disk cache for this invocation.
+``--progress``
+    Print one stderr line per completed sweep cell.
+
+The cache itself is managed with the ``cache`` subcommand::
+
+    python -m repro.experiments cache info
+    python -m repro.experiments cache clear
 """
 
 from __future__ import annotations
@@ -34,23 +55,29 @@ from repro.experiments.overhead import run_overhead_analysis
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import DEFAULT_SCALE, Scale
 from repro.experiments.tables import run_table1, run_table2
+from repro.runtime import (
+    ResultCache,
+    SweepExecutor,
+    default_cache_dir,
+    print_progress,
+)
 
 
 def _scaled(runner):
-    def run(scale: Scale) -> None:
-        print(runner(scale).render())
+    def run(scale: Scale, executor: SweepExecutor) -> None:
+        print(runner(scale, executor=executor).render())
 
     return run
 
 
 def _unscaled(runner):
-    def run(scale: Scale) -> None:  # noqa: ARG001 - uniform signature
+    def run(scale: Scale, executor: SweepExecutor) -> None:  # noqa: ARG001
         print(runner().render())
 
     return run
 
 
-def _fig2c(scale: Scale) -> None:
+def _fig2c(scale: Scale, executor: SweepExecutor) -> None:  # noqa: ARG001
     timeline, result = run_fig2c(scale)
     print(
         format_series(
@@ -64,7 +91,7 @@ def _fig2c(scale: Scale) -> None:
     )
 
 
-def _fig3(scale: Scale) -> None:  # noqa: ARG001
+def _fig3(scale: Scale, executor: SweepExecutor) -> None:  # noqa: ARG001
     timeline, result = run_fig3()
     print(
         format_series(
@@ -76,7 +103,7 @@ def _fig3(scale: Scale) -> None:  # noqa: ARG001
     )
 
 
-def _overhead(scale: Scale) -> None:  # noqa: ARG001
+def _overhead(scale: Scale, executor: SweepExecutor) -> None:  # noqa: ARG001
     report = run_overhead_analysis()
     print("Section VI-F: ISA-Alloc/ISA-Free overhead")
     print(f"  ISA events : {report.isa_events / 1e6:,.1f}M (paper 242.8M)")
@@ -85,7 +112,7 @@ def _overhead(scale: Scale) -> None:  # noqa: ARG001
     print(f"  overhead   : {report.overhead_percent:.2f}% (paper 1.06%)")
 
 
-EXPERIMENTS: Dict[str, Callable[[Scale], None]] = {
+EXPERIMENTS: Dict[str, Callable[[Scale, SweepExecutor], None]] = {
     "table1": _unscaled(run_table1),
     "table2": _unscaled(run_table2),
     "fig2a": _scaled(run_fig2a),
@@ -107,6 +134,28 @@ EXPERIMENTS: Dict[str, Callable[[Scale], None]] = {
 }
 
 
+def _run_cache_command(action: str | None, cache: ResultCache) -> int:
+    if action == "info":
+        info = cache.info()
+        print(f"root         : {info['root']}")
+        print(f"entries      : {info['entries']}")
+        print(f"bytes        : {info['bytes']:,}")
+        print(f"version key  : {info['version']}")
+        print(f"result schema: {info['result_schema']}")
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    problem = (
+        "missing cache action"
+        if action is None
+        else f"unknown cache action {action!r}"
+    )
+    print(f"{problem}; expected 'info' or 'clear'", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -114,7 +163,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig15), 'list', or 'all'",
+        help=(
+            "experiment id (e.g. fig15), 'list', 'all', "
+            "or 'cache' (with 'info'/'clear')"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="cache subcommand action: 'info' or 'clear'",
     )
     parser.add_argument(
         "--accesses",
@@ -134,24 +192,77 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_SCALE.fast_mb,
         help="stacked-DRAM capacity in MB (scaled system)",
     )
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 1, got {value}"
+            )
+        return value
+
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent result-cache directory "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress to stderr",
+    )
     args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    if args.experiment == "cache":
+        return _run_cache_command(args.action, ResultCache(cache_dir))
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
 
+    # A fresh invocation answers from the *disk* cache, never from a
+    # stale in-process memo (which only exists when main() is called
+    # programmatically, e.g. from tests).
+    from repro.experiments.runner import clear_sweep_cache
+
+    clear_sweep_cache()
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(cache_dir),
+        on_cell=print_progress if args.progress else None,
+    )
     scale = dataclasses.replace(
         DEFAULT_SCALE,
         accesses_per_core=args.accesses,
         warmup_per_core=args.warmup,
         fast_mb=args.fast_mb,
     )
+
+    def report_runtime() -> None:
+        if executor.metrics.cells_total:
+            print(f"[runtime] {executor.metrics.summary()}", file=sys.stderr)
+
     if args.experiment == "all":
         for name, runner in EXPERIMENTS.items():
             print(f"==== {name} ====")
-            runner(scale)
+            runner(scale, executor)
             print()
+        report_runtime()
         return 0
 
     runner = EXPERIMENTS.get(args.experiment)
@@ -162,7 +273,8 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    runner(scale)
+    runner(scale, executor)
+    report_runtime()
     return 0
 
 

@@ -5,19 +5,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments.designs import REGISTRY
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
-    FIG18_DESIGNS,
-    FIG20_DESIGNS,
-    FIG22_DESIGNS,
     Scale,
     geomean_by_design,
     run_design_sweep,
 )
+from repro.runtime import SweepExecutor
 from repro.stats import geomean
 
 #: The four designs of Figures 15-17 and 19.
-HW_DESIGNS = ("Alloy-Cache", "PoM", "Chameleon", "Chameleon-Opt")
+HW_DESIGNS = REGISTRY.figure_labels("fig15")
+
+#: Per-figure design line-ups, in plot order (see designs.py).
+FIG18_DESIGNS = REGISTRY.figure_labels("fig18")
+FIG20_DESIGNS = REGISTRY.figure_labels("fig20")
+FIG22_DESIGNS = REGISTRY.figure_labels("fig22")
 
 
 @dataclass
@@ -42,12 +46,14 @@ def _mean(values: Sequence[float]) -> float:
 # Figure 15: stacked-DRAM hit rates
 # ----------------------------------------------------------------------
 
-def run_fig15(scale: Scale) -> FigureResult:
+def run_fig15(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Stacked DRAM hit rate per workload for Alloy/PoM/Chameleon/Opt.
 
     Paper averages: Alloy 62.4%, PoM 81%, Chameleon 84.6%, Opt 89.4%.
     """
-    results = run_design_sweep(scale, HW_DESIGNS)
+    results = run_design_sweep(scale, HW_DESIGNS, executor=executor)
     headers = ["workload"] + [d for d in HW_DESIGNS]
     rows = []
     for name in scale.benchmarks:
@@ -75,13 +81,15 @@ def run_fig15(scale: Scale) -> FigureResult:
 # Figure 16: cache/PoM mode distribution
 # ----------------------------------------------------------------------
 
-def run_fig16(scale: Scale) -> FigureResult:
+def run_fig16(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Segment-group mode split for Chameleon and Chameleon-Opt.
 
     Paper averages: 9.2% cache mode (Chameleon), 40.6% (Chameleon-Opt).
     """
     designs = ("Chameleon", "Chameleon-Opt")
-    results = run_design_sweep(scale, designs)
+    results = run_design_sweep(scale, designs, executor=executor)
     headers = ["workload"] + [f"{d} cache-mode %" for d in designs]
     rows = []
     for name in scale.benchmarks:
@@ -109,14 +117,16 @@ def run_fig16(scale: Scale) -> FigureResult:
 # Figure 17: normalised swaps
 # ----------------------------------------------------------------------
 
-def run_fig17(scale: Scale) -> FigureResult:
+def run_fig17(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Segment swaps normalised to PoM.
 
     Paper averages: Chameleon 0.856, Chameleon-Opt 0.569 (i.e. -14.4%
     and -43.1% swaps vs PoM).
     """
     designs = ("PoM", "Chameleon", "Chameleon-Opt")
-    results = run_design_sweep(scale, designs)
+    results = run_design_sweep(scale, designs, executor=executor)
     headers = ["workload"] + list(designs)
     rows = []
     for name in scale.benchmarks:
@@ -143,13 +153,15 @@ def run_fig17(scale: Scale) -> FigureResult:
 # Figure 18: normalised IPC, six designs
 # ----------------------------------------------------------------------
 
-def run_fig18(scale: Scale) -> FigureResult:
+def run_fig18(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Per-workload IPC normalised to the 20GB flat baseline.
 
     Paper geomeans vs that baseline: 24GB +35.6%, PoM +85.2%,
     Chameleon +96.8%, Chameleon-Opt +106.3%.
     """
-    results = run_design_sweep(scale, FIG18_DESIGNS)
+    results = run_design_sweep(scale, FIG18_DESIGNS, executor=executor)
     headers = ["workload"] + list(FIG18_DESIGNS)
     rows = []
     for name in scale.benchmarks:
@@ -177,13 +189,15 @@ def run_fig18(scale: Scale) -> FigureResult:
 # Figure 19: average memory access latency
 # ----------------------------------------------------------------------
 
-def run_fig19(scale: Scale) -> FigureResult:
+def run_fig19(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Average memory access latency in CPU cycles (PoM vs Chameleons).
 
     The paper's ordering: PoM highest, Chameleon lower, Opt lowest.
     """
     designs = ("PoM", "Chameleon", "Chameleon-Opt")
-    results = run_design_sweep(scale, designs)
+    results = run_design_sweep(scale, designs, executor=executor)
     config = scale.config()
     headers = ["workload"] + list(designs)
     rows = []
@@ -218,13 +232,15 @@ def run_fig19(scale: Scale) -> FigureResult:
 # Figure 20: comparison with OS-based solutions
 # ----------------------------------------------------------------------
 
-def run_fig20(scale: Scale) -> FigureResult:
+def run_fig20(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """IPC of OS-managed designs vs Chameleon, normalised to 20GB flat.
 
     Paper: Chameleon +28.7%/+19.1% over first-touch/AutoNUMA;
     Chameleon-Opt +34.8%/+24.9%.
     """
-    results = run_design_sweep(scale, FIG20_DESIGNS)
+    results = run_design_sweep(scale, FIG20_DESIGNS, executor=executor)
     headers = ["workload"] + list(FIG20_DESIGNS)
     rows = []
     for name in scale.benchmarks:
@@ -252,7 +268,11 @@ def run_fig20(scale: Scale) -> FigureResult:
 # Figures 21 and 23: capacity-ratio sensitivity
 # ----------------------------------------------------------------------
 
-def run_fig21(scale: Scale, ratios: Tuple[int, ...] = (3, 5, 7)) -> FigureResult:
+def run_fig21(
+    scale: Scale,
+    ratios: Tuple[int, ...] = (3, 5, 7),
+    executor: SweepExecutor | None = None,
+) -> FigureResult:
     """Cache-mode fraction of Chameleon-Opt across capacity ratios.
 
     Paper averages: 33% (1:3), 40.6% (1:5), 48.7% (1:7).
@@ -263,7 +283,9 @@ def run_fig21(scale: Scale, ratios: Tuple[int, ...] = (3, 5, 7)) -> FigureResult
     for ratio in ratios:
         ratio_scale = scale.with_ratio(ratio)
         results = run_design_sweep(
-            ratio_scale, ("Chameleon", "Chameleon-Opt")
+            ratio_scale,
+            REGISTRY.figure_labels("fig21"),
+            executor=executor,
         )
         opt = _mean(
             (results[("Chameleon-Opt", name)].cache_mode_fraction or 0.0)
@@ -284,7 +306,11 @@ def run_fig21(scale: Scale, ratios: Tuple[int, ...] = (3, 5, 7)) -> FigureResult
     )
 
 
-def run_fig23(scale: Scale, ratios: Tuple[int, ...] = (3, 7)) -> FigureResult:
+def run_fig23(
+    scale: Scale,
+    ratios: Tuple[int, ...] = (3, 7),
+    executor: SweepExecutor | None = None,
+) -> FigureResult:
     """Normalised IPC across capacity ratios (1:3 and 1:7).
 
     Paper: Chameleon/Opt beat PoM by 5.9%/7.6% at 1:3 and 8.1%/12.4%
@@ -302,7 +328,7 @@ def run_fig23(scale: Scale, ratios: Tuple[int, ...] = (3, 7)) -> FigureResult:
     summary: Dict[str, float] = {}
     for ratio in ratios:
         ratio_scale = scale.with_ratio(ratio)
-        results = run_design_sweep(ratio_scale, designs)
+        results = run_design_sweep(ratio_scale, designs, executor=executor)
         means = geomean_by_design(results, designs, ratio_scale.benchmarks)
         base = means["baseline_20GB_DDR3"]
         rows.append([f"1:{ratio}"] + [means[d] / base for d in designs])
@@ -324,12 +350,14 @@ def run_fig23(scale: Scale, ratios: Tuple[int, ...] = (3, 7)) -> FigureResult:
 # Figure 22: Polymorphic Memory comparison
 # ----------------------------------------------------------------------
 
-def run_fig22(scale: Scale) -> FigureResult:
+def run_fig22(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Chameleon vs the Polymorphic Memory patent.
 
     Paper: Chameleon +10.5%, Chameleon-Opt +15.8% over Polymorphic.
     """
-    results = run_design_sweep(scale, FIG22_DESIGNS)
+    results = run_design_sweep(scale, FIG22_DESIGNS, executor=executor)
     headers = ["workload"] + list(FIG22_DESIGNS)
     rows = []
     for name in scale.benchmarks:

@@ -5,20 +5,26 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
+from repro.experiments.designs import REGISTRY
 from repro.experiments.figures import FigureResult, _mean
 from repro.experiments.runner import Scale, run_design_sweep
 from repro.osmodel.autonuma import AutoNumaConfig
+from repro.runtime import SweepExecutor
 from repro.sim import AutoNumaMemory, simulate
 from repro.stats import Timeline
 from repro.workloads import benchmark, build_workload
 
 
-def run_fig2a(scale: Scale) -> FigureResult:
+def run_fig2a(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """Stacked DRAM hit rate under the NUMA-aware first-touch allocator.
 
     Paper average: 18.5% for the high-footprint workloads.
     """
-    results = run_design_sweep(scale, ("numaAware",))
+    results = run_design_sweep(
+        scale, REGISTRY.figure_labels("fig2a"), executor=executor
+    )
     headers = ["workload", "hit rate %"]
     rows = [
         [name, results[("numaAware", name)].fast_hit_rate * 100.0]
@@ -34,7 +40,9 @@ def run_fig2a(scale: Scale) -> FigureResult:
     )
 
 
-def run_fig2b(scale: Scale) -> FigureResult:
+def run_fig2b(
+    scale: Scale, executor: SweepExecutor | None = None
+) -> FigureResult:
     """AutoNUMA hit rates for 70/80/90% thresholds (paper avg 64.4%,
     higher thresholds better).
 
@@ -43,17 +51,13 @@ def run_fig2b(scale: Scale) -> FigureResult:
     pages — so this figure measures from a cold start (no warm-up), the
     adaptation phase included.
     """
-    designs = (
-        "autoNUMA_70percent",
-        "autoNUMA_80percent",
-        "autoNUMA_90percent",
-    )
+    designs = REGISTRY.figure_labels("fig2b")
     cold_scale = dataclasses.replace(
         scale,
         warmup_per_core=0,
         accesses_per_core=scale.accesses_per_core + scale.warmup_per_core,
     )
-    results = run_design_sweep(cold_scale, designs)
+    results = run_design_sweep(cold_scale, designs, executor=executor)
     headers = ["workload"] + [d for d in designs]
     rows = []
     for name in cold_scale.benchmarks:

@@ -1,38 +1,31 @@
-"""Shared experiment infrastructure: scales, design registry, sweeps.
+"""Shared experiment infrastructure: scales and design sweeps.
 
 Experiments run on proportionally scaled configurations (see DESIGN.md):
 capacities shrink by a constant factor while every architectural ratio
 of Table I — the 1:5 stacked:off-chip split, 2KB segments, channel and
 bank counts, timings — is preserved, and workload footprints are
 fractions of total capacity exactly as in the paper.  ``Scale`` bundles
-the knobs; ``run_design_sweep`` executes a set of designs over the
-Table II workloads with memoisation so the five main-results figures
-(15-19) share one sweep.
+the knobs; :func:`run_design_sweep` executes a set of designs over the
+Table II workloads through :mod:`repro.runtime` — a process-pool
+executor with an optional persistent result cache — plus a
+process-local memo so the five main-results figures (15-19) share one
+sweep.
+
+The design registry lives in :mod:`repro.experiments.designs`; the old
+``DESIGNS`` dict and ``FIG18_DESIGNS``/``FIG20_DESIGNS``/
+``FIG22_DESIGNS`` tuples still import from here as deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MB, SystemConfig, offchip_dram, stacked_dram
-from repro.arch import (
-    AlloyCache,
-    CameoArchitecture,
-    FlatMemory,
-    MemoryArchitecture,
-    PoMArchitecture,
-    PolymorphicMemory,
-    StaticHybridMemory,
-)
-from repro.core import (
-    ChameleonArchitecture,
-    ChameleonOptArchitecture,
-    ChameleonSharedPool,
-)
-from repro.osmodel.autonuma import AutoNumaConfig
-from repro.sim import AutoNumaMemory, FirstTouchMemory, SimulationResult, simulate
-from repro.workloads import benchmark, benchmark_names, build_workload
+from repro.experiments.designs import REGISTRY, DesignFactory
+from repro.runtime import SweepExecutor, SweepResults, get_default_executor
+from repro.workloads import benchmark_names
 
 
 @dataclass(frozen=True)
@@ -87,94 +80,8 @@ DEFAULT_SCALE = Scale(
 
 
 # ----------------------------------------------------------------------
-# Design registry
-# ----------------------------------------------------------------------
-
-DesignFactory = Callable[[SystemConfig], MemoryArchitecture]
-
-
-def _flat(fraction_of_total: float) -> DesignFactory:
-    def make(config: SystemConfig) -> MemoryArchitecture:
-        capacity = int(config.total_capacity_bytes * fraction_of_total)
-        return FlatMemory(config, capacity_bytes=capacity)
-
-    return make
-
-
-def _knl(cache_fraction: float) -> DesignFactory:
-    def make(config: SystemConfig) -> MemoryArchitecture:
-        return StaticHybridMemory(config, cache_fraction=cache_fraction)
-
-    return make
-
-
-def _autonuma(threshold: float) -> DesignFactory:
-    def make(config: SystemConfig) -> MemoryArchitecture:
-        return AutoNumaMemory(
-            config,
-            autonuma=AutoNumaConfig(threshold=threshold),
-            epoch_accesses=3000,
-        )
-
-    return make
-
-
-#: All designs the paper evaluates, by the labels used in its figures.
-DESIGNS: Dict[str, DesignFactory] = {
-    "baseline_20GB_DDR3": _flat(20.0 / 24.0),
-    "baseline_24GB_DDR3": _flat(1.0),
-    "Alloy-Cache": AlloyCache,
-    "PoM": PoMArchitecture,
-    "Chameleon": ChameleonArchitecture,
-    "Chameleon-Opt": ChameleonOptArchitecture,
-    "Polymorphic": PolymorphicMemory,
-    "CAMEO": CameoArchitecture,
-    "Chameleon-Shared": ChameleonSharedPool,
-    "KNL-hybrid-25": _knl(0.25),
-    "KNL-hybrid-50": _knl(0.50),
-    "numaAware": FirstTouchMemory,
-    "autoNUMA_70percent": _autonuma(0.70),
-    "autoNUMA_80percent": _autonuma(0.80),
-    "autoNUMA_90percent": _autonuma(0.90),
-}
-
-#: The six designs of Figure 18, in plot order.
-FIG18_DESIGNS = (
-    "baseline_20GB_DDR3",
-    "baseline_24GB_DDR3",
-    "Alloy-Cache",
-    "PoM",
-    "Chameleon",
-    "Chameleon-Opt",
-)
-
-#: The designs of Figure 20 (OS-based comparison).
-FIG20_DESIGNS = (
-    "baseline_20GB_DDR3",
-    "baseline_24GB_DDR3",
-    "numaAware",
-    "autoNUMA_70percent",
-    "autoNUMA_80percent",
-    "autoNUMA_90percent",
-    "Chameleon",
-    "Chameleon-Opt",
-)
-
-#: The designs of Figure 22 (Polymorphic Memory comparison).
-FIG22_DESIGNS = (
-    "baseline_20GB_DDR3",
-    "baseline_24GB_DDR3",
-    "Polymorphic",
-    "Chameleon",
-    "Chameleon-Opt",
-)
-
-
-# ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
-
-SweepResults = Dict[Tuple[str, str], SimulationResult]
 
 _sweep_cache: Dict[Tuple, SweepResults] = {}
 
@@ -183,43 +90,40 @@ def run_design_sweep(
     scale: Scale,
     designs: Sequence[str],
     use_cache: bool = True,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResults:
     """Simulate each (design, workload) pair; returns results keyed by
     ``(design, workload)``.
 
-    Results are memoised per (scale, design) so that the figures sharing
-    the Section VI-B sweep do not re-simulate.
+    Execution goes through ``executor`` (default: the process-wide
+    serial :func:`repro.runtime.get_default_executor`), which handles
+    worker fan-out and the persistent disk cache.  On top of that,
+    results are memoised in-process per (scale, design) so the figures
+    sharing the Section VI-B sweep do not re-simulate — the memo
+    returns the *same* result objects on repeat calls.
     """
     results: SweepResults = {}
     missing: List[str] = []
     for design in designs:
-        if design not in DESIGNS:
+        if design not in REGISTRY:
             raise KeyError(f"unknown design {design!r}")
         key = (scale, design)
         if use_cache and key in _sweep_cache:
             results.update(_sweep_cache[key])
         else:
             missing.append(design)
-    for design in missing:
-        config = scale.config()
-        per_design: SweepResults = {}
-        for name in scale.benchmarks:
-            workload = build_workload(
-                config,
-                benchmark(name),
-                num_copies=scale.num_copies,
-                seed=scale.seed,
-            )
-            result = simulate(
-                DESIGNS[design](config),
-                workload,
-                accesses_per_core=scale.accesses_per_core,
-                warmup_per_core=scale.warmup_per_core,
-            )
-            per_design[(design, name)] = result
+    if missing:
+        if executor is None:
+            executor = get_default_executor()
+        fresh = executor.run(scale, missing)
         if use_cache:
-            _sweep_cache[(scale, design)] = per_design
-        results.update(per_design)
+            for design in missing:
+                _sweep_cache[(scale, design)] = {
+                    cell: result
+                    for cell, result in fresh.items()
+                    if cell[0] == design
+                }
+        results.update(fresh)
     return results
 
 
@@ -239,3 +143,43 @@ def geomean_by_design(
         )
         for design in designs
     }
+
+
+# ----------------------------------------------------------------------
+# Deprecated aliases (one release): the registry replaced these
+# ----------------------------------------------------------------------
+
+def _deprecated_designs() -> Dict[str, DesignFactory]:
+    return REGISTRY.factories()
+
+
+_DEPRECATED = {
+    "DESIGNS": (_deprecated_designs, "repro.experiments.designs.REGISTRY"),
+    "FIG18_DESIGNS": (
+        lambda: REGISTRY.figure_labels("fig18"),
+        'REGISTRY.figure_labels("fig18")',
+    ),
+    "FIG20_DESIGNS": (
+        lambda: REGISTRY.figure_labels("fig20"),
+        'REGISTRY.figure_labels("fig20")',
+    ),
+    "FIG22_DESIGNS": (
+        lambda: REGISTRY.figure_labels("fig22"),
+        'REGISTRY.figure_labels("fig22")',
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        build, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.experiments.runner.{name} is deprecated; "
+            f"use {replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return build()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,48 @@
+"""Parallel sweep runtime: executor, persistent result cache, metrics.
+
+Every paper figure funnels through a design sweep — up to 15 designs
+× 14 workloads of independent, seed-deterministic simulation cells.
+This package makes that sweep fast and repeatable:
+
+* :class:`SweepExecutor` — fans cells out across a process pool
+  (``jobs=1`` is the serial degenerate case; results are bit-identical
+  at any worker count);
+* :class:`ResultCache` — content-addressed on-disk cache keyed by
+  ``(Scale, design, workload, repro.__version__)``, surviving across
+  processes and CLI invocations, with hit/miss/eviction accounting;
+* :class:`SweepMetrics` — cells completed, wall time per cell, worker
+  utilisation, cache hit rate — surfaced by the CLI's ``[runtime]``
+  summary line.
+
+See docs/RUNTIME.md for the cache-key scheme and the determinism
+guarantee.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.cells import simulate_cell, timed_cell
+from repro.runtime.executor import (
+    SweepExecutor,
+    SweepResults,
+    get_default_executor,
+    set_default_executor,
+)
+from repro.runtime.metrics import (
+    CellStat,
+    SweepMetrics,
+    print_progress,
+)
+
+__all__ = [
+    "CacheStats",
+    "CellStat",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepMetrics",
+    "SweepResults",
+    "default_cache_dir",
+    "get_default_executor",
+    "print_progress",
+    "set_default_executor",
+    "simulate_cell",
+    "timed_cell",
+]

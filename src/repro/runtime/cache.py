@@ -1,0 +1,185 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+Each ``(Scale, design, workload)`` simulation cell is deterministic
+(seeded workload synthesis, no wall-clock dependence), so its
+:class:`~repro.sim.SimulationResult` can be cached across processes and
+CLI invocations.  The cache key is the SHA-256 of the canonical JSON of
+
+    {scale fields, design label, workload name,
+     repro.__version__, result schema version}
+
+so any change to the experiment scale, the library version, or the wire
+format addresses a different entry — stale results are never returned,
+they are simply orphaned (and reclaimable with ``cache clear``).
+
+Entries are one JSON file each, sharded by digest prefix
+(``<root>/ab/abcdef....json``).  An optional ``max_entries`` bound
+evicts least-recently-used entries (by file mtime; hits refresh it).
+All traffic is counted in :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.sim import RESULT_SCHEMA_VERSION, SimulationResult
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+@dataclass
+class CacheStats:
+    """Traffic accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Persistent map ``(scale, design, workload) -> SimulationResult``."""
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        version: str | None = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if version is None:
+            from repro import __version__ as version
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    # -- keying --------------------------------------------------------
+
+    def key(self, scale: Any, design: str, workload: str) -> str:
+        """SHA-256 digest of the canonical cell description."""
+        description = self.describe(scale, design, workload)
+        canonical = json.dumps(description, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(
+        self, scale: Any, design: str, workload: str
+    ) -> Dict[str, Any]:
+        """The cell's identity, as stored alongside each entry."""
+        return {
+            "scale": dataclasses.asdict(scale),
+            "design": design,
+            "workload": workload,
+            "version": self.version,
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- traffic -------------------------------------------------------
+
+    def get(
+        self, scale: Any, design: str, workload: str
+    ) -> Optional[SimulationResult]:
+        """The cached result, or ``None`` (counted as hit/miss)."""
+        path = self._path(self.key(scale, design, workload))
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Corrupt or incompatible entry: drop it and report a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        os.utime(path)  # refresh LRU position
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        scale: Any,
+        design: str,
+        workload: str,
+        result: SimulationResult,
+    ) -> Path:
+        """Persist ``result``; evicts LRU entries past ``max_entries``."""
+        digest = self.key(scale, design, workload)
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": self.describe(scale, design, workload),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)  # atomic: concurrent readers never see partials
+        self.stats.stores += 1
+        if self.max_entries is not None:
+            self._evict(keep=path)
+        return path
+
+    def _evict(self, keep: Path) -> None:
+        entries = sorted(
+            self._entries(), key=lambda p: p.stat().st_mtime
+        )
+        excess = len(entries) - self.max_entries
+        for path in entries:
+            if excess <= 0:
+                break
+            if path == keep:
+                continue
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+            excess -= 1
+
+    # -- maintenance ---------------------------------------------------
+
+    def _entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob("??/*.json"))
+
+    def info(self) -> Dict[str, Any]:
+        """Inventory: root, entry count, total bytes, version keyed."""
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "version": self.version,
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        entries = self._entries()
+        for path in entries:
+            path.unlink(missing_ok=True)
+        return len(entries)
+
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]

@@ -1,0 +1,55 @@
+"""The unit of sweep parallelism: one ``(design, workload)`` cell.
+
+A cell is fully described by ``(Scale, design label, workload name)``
+and is deterministic: the workload is synthesised from
+``scale.seed`` and the simulator has no other randomness, so running a
+cell in a worker process is bit-identical to running it inline.  Design
+factories are closures and do not pickle, so workers receive only the
+*label* and re-resolve it against the design registry on their side of
+the fork.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+from repro.sim import SimulationResult, simulate
+from repro.workloads import benchmark, build_workload
+
+
+def simulate_cell(
+    scale, design: str, workload: str
+) -> SimulationResult:
+    """Simulate one cell from scratch (config, workload, architecture
+    all built fresh — nothing is shared between cells)."""
+    from repro.experiments.designs import REGISTRY
+
+    spec = REGISTRY.get(design)
+    config = scale.config()
+    built = build_workload(
+        config,
+        benchmark(workload),
+        num_copies=scale.num_copies,
+        seed=scale.seed,
+    )
+    return simulate(
+        spec.factory(config),
+        built,
+        accesses_per_core=scale.accesses_per_core,
+        warmup_per_core=scale.warmup_per_core,
+    )
+
+
+def timed_cell(
+    args: Tuple,
+) -> Tuple[str, str, float, SimulationResult]:
+    """Process-pool entry point: ``(scale, design, workload)`` in,
+    ``(design, workload, seconds, result)`` out."""
+    scale, design, workload = args
+    start = time.perf_counter()
+    result = simulate_cell(scale, design, workload)
+    return design, workload, time.perf_counter() - start, result
+
+
+__all__ = ["simulate_cell", "timed_cell"]

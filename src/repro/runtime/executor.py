@@ -1,0 +1,163 @@
+"""Process-pool sweep executor with a persistent result cache.
+
+:class:`SweepExecutor` fans the independent ``(design, workload)``
+cells of a design sweep out across worker processes, front-ended by an
+optional on-disk :class:`~repro.runtime.cache.ResultCache`.  ``jobs=1``
+is the degenerate serial case (no pool, everything inline), so results
+are bit-identical at any worker count — cells never share state, and
+each is seed-deterministic.
+
+The module-level default executor (serial, no disk cache) is what
+:func:`repro.experiments.runner.run_design_sweep` uses when not handed
+one explicitly; the CLI builds its own from ``--jobs``/``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.cells import simulate_cell, timed_cell
+from repro.runtime.metrics import (
+    SOURCE_DISK,
+    SOURCE_SIMULATED,
+    CellStat,
+    ProgressCallback,
+    SweepMetrics,
+)
+from repro.sim import SimulationResult
+
+#: Sweep results keyed by ``(design, workload)``.
+SweepResults = Dict[Tuple[str, str], SimulationResult]
+
+
+class SweepExecutor:
+    """Runs design sweeps: cache front-end, process-pool back-end."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        on_cell: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.on_cell = on_cell
+        self.metrics = SweepMetrics(jobs=jobs)
+
+    def run(self, scale, designs: Sequence[str]) -> SweepResults:
+        """Simulate every ``(design, workload)`` cell of ``scale``,
+        serving what it can from the disk cache."""
+        from repro.experiments.designs import REGISTRY
+
+        for design in designs:
+            if design not in REGISTRY:
+                raise KeyError(f"unknown design {design!r}")
+
+        cells = [
+            (design, workload)
+            for design in designs
+            for workload in scale.benchmarks
+        ]
+        start = time.perf_counter()
+        results: SweepResults = {}
+        pending: List[Tuple[str, str]] = []
+        done = 0
+
+        for design, workload in cells:
+            cached = (
+                self.cache.get(scale, design, workload)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                results[(design, workload)] = cached
+                done += 1
+                self._record(
+                    CellStat(design, workload, 0.0, SOURCE_DISK),
+                    done,
+                    len(cells),
+                )
+            else:
+                pending.append((design, workload))
+
+        for design, workload, seconds, result in self._execute(
+            scale, pending
+        ):
+            results[(design, workload)] = result
+            if self.cache is not None:
+                self.cache.put(scale, design, workload, result)
+            done += 1
+            self._record(
+                CellStat(design, workload, seconds, SOURCE_SIMULATED),
+                done,
+                len(cells),
+            )
+
+        self.metrics.record_sweep(time.perf_counter() - start)
+        return results
+
+    # -- internals -----------------------------------------------------
+
+    def _execute(self, scale, pending: Sequence[Tuple[str, str]]):
+        """Yield ``(design, workload, seconds, result)`` for each
+        missing cell — inline at ``jobs=1``, pooled otherwise."""
+        if not pending:
+            return
+        if self.jobs == 1:
+            for design, workload in pending:
+                start = time.perf_counter()
+                result = simulate_cell(scale, design, workload)
+                yield design, workload, time.perf_counter() - start, result
+            return
+
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(timed_cell, (scale, design, workload))
+                for design, workload in pending
+            }
+            while futures:
+                finished, futures = wait(
+                    futures, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    yield future.result()
+
+    def _record(self, stat: CellStat, done: int, total: int) -> None:
+        self.metrics.record_cell(stat)
+        if self.on_cell is not None:
+            self.on_cell(stat, done, total)
+
+
+# ----------------------------------------------------------------------
+# Default executor (library path: serial, in-memory memoisation only)
+# ----------------------------------------------------------------------
+
+_default_executor: Optional[SweepExecutor] = None
+
+
+def get_default_executor() -> SweepExecutor:
+    """The executor sweeps use when none is passed explicitly."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor()
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[SweepExecutor]) -> None:
+    """Install (or, with ``None``, reset) the process-wide default."""
+    global _default_executor
+    _default_executor = executor
+
+
+__all__ = [
+    "SweepExecutor",
+    "SweepResults",
+    "get_default_executor",
+    "set_default_executor",
+]

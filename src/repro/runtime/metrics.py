@@ -1,0 +1,133 @@
+"""Sweep progress accounting: per-cell wall time, cache hit rate,
+worker utilisation.
+
+Every :class:`repro.runtime.executor.SweepExecutor` owns one
+:class:`SweepMetrics` and records into it across all of its sweeps, so
+a CLI invocation that triggers several sweeps (``fig21`` runs one per
+capacity ratio) still reports one coherent summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+#: Where a finished cell's result came from.
+SOURCE_SIMULATED = "simulated"
+SOURCE_DISK = "disk-cache"
+SOURCE_MEMORY = "memory"
+
+#: Callback fired as each cell completes: ``(stat, done, total)`` where
+#: ``done``/``total`` count cells within the current sweep.
+ProgressCallback = Callable[["CellStat", int, int], None]
+
+
+@dataclass(frozen=True)
+class CellStat:
+    """One completed ``(design, workload)`` cell."""
+
+    design: str
+    workload: str
+    seconds: float
+    source: str  # SOURCE_SIMULATED | SOURCE_DISK | SOURCE_MEMORY
+
+
+@dataclass
+class SweepMetrics:
+    """Accumulated accounting over an executor's lifetime."""
+
+    jobs: int = 1
+    cells: List[CellStat] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    sweeps: int = 0
+
+    def record_cell(self, stat: CellStat) -> None:
+        self.cells.append(stat)
+
+    def record_sweep(self, wall_seconds: float) -> None:
+        self.sweeps += 1
+        self.wall_seconds += wall_seconds
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def cells_total(self) -> int:
+        return len(self.cells)
+
+    def _count(self, source: str) -> int:
+        return sum(1 for c in self.cells if c.source == source)
+
+    @property
+    def simulated(self) -> int:
+        return self._count(SOURCE_SIMULATED)
+
+    @property
+    def disk_hits(self) -> int:
+        return self._count(SOURCE_DISK)
+
+    @property
+    def memory_hits(self) -> int:
+        return self._count(SOURCE_MEMORY)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells served without simulating, 0..1."""
+        if not self.cells:
+            return 0.0
+        return 1.0 - self.simulated / len(self.cells)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulation time, summed over cells (not wall time)."""
+        return sum(c.seconds for c in self.cells)
+
+    @property
+    def mean_cell_seconds(self) -> float:
+        simulated = [c.seconds for c in self.cells if c.source == SOURCE_SIMULATED]
+        return sum(simulated) / len(simulated) if simulated else 0.0
+
+    @property
+    def worker_utilisation(self) -> float:
+        """``busy / (jobs * wall)`` — how full the worker pool ran.
+
+        1.0 means every worker simulated for the whole wall time; a
+        fully cache-served sweep reports 0.0.
+        """
+        denom = self.jobs * self.wall_seconds
+        if denom <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / denom)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI's ``[runtime]`` trailer)."""
+        return (
+            f"cells={self.cells_total}"
+            f" simulated={self.simulated}"
+            f" disk-hits={self.disk_hits}"
+            f" hit-rate={self.cache_hit_rate:.1%}"
+            f" wall={self.wall_seconds:.2f}s"
+            f" jobs={self.jobs}"
+            f" util={self.worker_utilisation:.1%}"
+        )
+
+
+def print_progress(stat: CellStat, done: int, total: int) -> None:
+    """Default progress printer: one stderr line per completed cell."""
+    import sys
+
+    print(
+        f"[{done:>4}/{total}] {stat.design}/{stat.workload}"
+        f" {stat.seconds:.2f}s ({stat.source})",
+        file=sys.stderr,
+    )
+
+
+__all__ = [
+    "CellStat",
+    "ProgressCallback",
+    "SOURCE_DISK",
+    "SOURCE_MEMORY",
+    "SOURCE_SIMULATED",
+    "SweepMetrics",
+    "print_progress",
+]

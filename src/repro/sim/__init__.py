@@ -8,10 +8,15 @@ capacity, and rolling per-core stats into the paper's metrics
 (geomean IPC, stacked hit rate, swaps, AMAT).
 """
 
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import (
+    RESULT_SCHEMA_VERSION,
+    SimulationResult,
+    simulate,
+)
 from repro.sim.os_designs import AutoNumaMemory, FirstTouchMemory
 
 __all__ = [
+    "RESULT_SCHEMA_VERSION",
     "SimulationResult",
     "simulate",
     "AutoNumaMemory",

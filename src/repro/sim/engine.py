@@ -11,7 +11,7 @@ LRU-paged resident set charging the Table I SSD fault latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.arch.base import MemoryArchitecture
 from repro.config import SystemConfig
@@ -21,6 +21,12 @@ from repro.stats import CounterSet
 import heapq
 
 from repro.workloads.multiprog import MultiprogramWorkload
+
+#: Version of the :meth:`SimulationResult.to_dict` wire format.  This is
+#: also the on-disk schema of :mod:`repro.runtime`'s result cache, so
+#: bump it whenever the dict shape (or the meaning of a field) changes —
+#: cached entries written under another version are never deserialised.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -43,6 +49,47 @@ class SimulationResult:
 
     def average_latency_cycles(self, config: SystemConfig) -> float:
         return self.average_latency_ns * 1e-9 * config.core.frequency_hz
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned, JSON-safe plain-dict form.
+
+        The round trip through :meth:`from_dict` is lossless (floats
+        survive ``json.dumps``/``loads`` exactly), so one schema serves
+        both the public API and :mod:`repro.runtime` persistence.
+        """
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "architecture": self.architecture,
+            "performance": self.performance.to_dict(),
+            "fast_hit_rate": self.fast_hit_rate,
+            "average_latency_ns": self.average_latency_ns,
+            "swaps": self.swaps,
+            "page_faults": self.page_faults,
+            "counters": self.counters.to_dict(),
+            "cache_mode_fraction": self.cache_mode_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported SimulationResult schema {schema!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            workload=data["workload"],
+            architecture=data["architecture"],
+            performance=WorkloadPerformance.from_dict(data["performance"]),
+            fast_hit_rate=data["fast_hit_rate"],
+            average_latency_ns=data["average_latency_ns"],
+            swaps=data["swaps"],
+            page_faults=data["page_faults"],
+            counters=CounterSet.from_dict(data["counters"]),
+            cache_mode_fraction=data["cache_mode_fraction"],
+        )
 
 
 def simulate(

@@ -10,7 +10,10 @@ timelines.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Mapping
+from typing import Any, Dict, Iterator, Mapping
+
+#: Version of the :meth:`CounterSet.to_dict` wire format.
+COUNTERS_SCHEMA_VERSION = 1
 
 
 class CounterSet:
@@ -74,6 +77,39 @@ class CounterSet:
 
     def reset(self) -> None:
         self._counts.clear()
+
+    def __eq__(self, other: object) -> bool:
+        """Two sets are equal when their non-zero counts agree.
+
+        Zero-valued entries are ignored so a counter that was
+        incremented by 0 compares equal to one that was never touched —
+        the distinction is invisible through every read path.
+        """
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        mine = {k: v for k, v in self._counts.items() if v}
+        theirs = {k: v for k, v in other._counts.items() if v}
+        return mine == theirs
+
+    __hash__ = None  # mutable: identity hashing would violate eq
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned plain-dict form (the disk-cache wire format)."""
+        return {
+            "schema": COUNTERS_SCHEMA_VERSION,
+            "counts": {k: v for k, v in self._counts.items() if v},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CounterSet":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        schema = data.get("schema")
+        if schema != COUNTERS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported CounterSet schema {schema!r} "
+                f"(expected {COUNTERS_SCHEMA_VERSION})"
+            )
+        return cls(data.get("counts", {}))
 
     def scoped(self, prefix: str) -> "ScopedCounters":
         """A view that prepends ``prefix + '.'`` to every counter name."""

@@ -5,7 +5,13 @@ import dataclasses
 import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
-from repro.experiments.runner import SMOKE_SCALE
+from repro.experiments.runner import DEFAULT_SCALE, SMOKE_SCALE
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(monkeypatch, tmp_path):
+    """Keep CLI runs without --cache-dir out of the user's home."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-cache"))
 
 
 class TestCli:
@@ -48,3 +54,78 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "hit_rate" in out
+
+
+SMOKE_FLAGS = [
+    "--accesses", "150", "--warmup", "150", "--fast-mb", "1",
+]
+
+
+class TestRuntimeFlags:
+    def test_jobs_flag_runs_parallel(self, capsys, tmp_path):
+        code = main(
+            ["fig16", *SMOKE_FLAGS, "--jobs", "2",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 16" in captured.out
+        assert "[runtime]" in captured.err
+        assert "jobs=2" in captured.err
+
+    def test_warm_cache_performs_zero_simulations(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--cache-dir", str(tmp_path)]
+        ) == 0
+        first = capsys.readouterr()
+        assert "simulated=0" not in first.err
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--cache-dir", str(tmp_path)]
+        ) == 0
+        second = capsys.readouterr()
+        assert "simulated=0" in second.err
+        assert "hit-rate=100.0%" in second.err
+        assert second.out == first.out
+
+    def test_no_cache_flag_disables_persistence(self, capsys, tmp_path):
+        for _ in range(2):
+            assert main(
+                ["fig16", *SMOKE_FLAGS, "--no-cache",
+                 "--cache-dir", str(tmp_path)]
+            ) == 0
+            err = capsys.readouterr().err
+            assert "disk-hits=0" in err
+        assert not any(tmp_path.iterdir())
+
+    def test_progress_flag_prints_cells(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache", "--progress",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "Chameleon/mcf" in err or "Chameleon-Opt/mcf" in err
+
+
+class TestCacheSubcommand:
+    def test_info_empty(self, capsys, tmp_path):
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      : 0" in out
+        assert str(tmp_path) in out
+
+    def test_info_then_clear(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--cache-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        cells = 2 * len(DEFAULT_SCALE.benchmarks)  # fig16: two designs
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert f"entries      : {cells}" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert f"removed {cells}" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries      : 0" in capsys.readouterr().out
+
+    def test_unknown_cache_action(self, capsys, tmp_path):
+        assert main(["cache", "wipe", "--cache-dir", str(tmp_path)]) == 2
+        assert "unknown cache action" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""The typed design registry and its deprecated legacy aliases."""
+
+import pytest
+
+from repro.experiments.designs import (
+    CATEGORIES,
+    REGISTRY,
+    DesignRegistry,
+    DesignSpec,
+)
+
+
+class TestRegistryQueries:
+    def test_every_paper_design_is_registered(self):
+        for label in (
+            "baseline_20GB_DDR3",
+            "baseline_24GB_DDR3",
+            "Alloy-Cache",
+            "PoM",
+            "Chameleon",
+            "Chameleon-Opt",
+            "Polymorphic",
+            "CAMEO",
+            "Chameleon-Shared",
+            "KNL-hybrid-25",
+            "KNL-hybrid-50",
+            "numaAware",
+            "autoNUMA_70percent",
+            "autoNUMA_80percent",
+            "autoNUMA_90percent",
+        ):
+            assert label in REGISTRY
+
+    def test_figure_order_matches_plot_order(self):
+        assert REGISTRY.figure_labels("fig18") == (
+            "baseline_20GB_DDR3",
+            "baseline_24GB_DDR3",
+            "Alloy-Cache",
+            "PoM",
+            "Chameleon",
+            "Chameleon-Opt",
+        )
+        assert REGISTRY.figure_labels("fig20")[2] == "numaAware"
+        assert [s.label for s in REGISTRY.by_figure("fig22")] == list(
+            REGISTRY.figure_labels("fig22")
+        )
+
+    def test_categories_partition_the_registry(self):
+        by_cat = {c: REGISTRY.by_category(c) for c in CATEGORIES}
+        labels = [s.label for specs in by_cat.values() for s in specs]
+        assert sorted(labels) == sorted(REGISTRY.labels())
+        assert {s.label for s in by_cat["baseline"]} == {
+            "baseline_20GB_DDR3",
+            "baseline_24GB_DDR3",
+        }
+        assert all(
+            s.label.startswith(("numaAware", "autoNUMA"))
+            for s in by_cat["os"]
+        )
+
+    def test_figure_membership_recorded_on_specs(self):
+        chameleon = REGISTRY.get("Chameleon")
+        assert "fig18" in chameleon.figures
+        assert "fig2a" not in chameleon.figures
+        assert REGISTRY.get("numaAware").figures == ("fig20", "fig2a")
+
+    def test_factories_build_architectures(self):
+        from repro.experiments import SMOKE_SCALE
+
+        config = SMOKE_SCALE.config()
+        for spec in REGISTRY:
+            arch = spec.factory(config)
+            assert hasattr(arch, "access"), spec.label
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            REGISTRY.get("NotADesign")
+        with pytest.raises(KeyError, match="unknown figure"):
+            REGISTRY.figure_labels("fig99")
+        with pytest.raises(KeyError, match="unknown category"):
+            REGISTRY.by_category("quantum")
+
+
+class TestRegistryConstruction:
+    def test_duplicate_label_rejected(self):
+        registry = DesignRegistry()
+        spec = DesignSpec("x", lambda c: None, "hardware")
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+
+    def test_figure_of_unknown_design_rejected(self):
+        registry = DesignRegistry()
+        with pytest.raises(KeyError):
+            registry.define_figure("figX", ("missing",))
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            DesignSpec("x", lambda c: None, "middleware")
+
+
+class TestDeprecatedAliases:
+    def test_designs_dict_alias_warns_and_matches(self):
+        import repro.experiments.runner as runner
+
+        with pytest.deprecated_call():
+            legacy = runner.DESIGNS
+        assert legacy == REGISTRY.factories()
+
+    @pytest.mark.parametrize(
+        "alias, figure",
+        [
+            ("FIG18_DESIGNS", "fig18"),
+            ("FIG20_DESIGNS", "fig20"),
+            ("FIG22_DESIGNS", "fig22"),
+        ],
+    )
+    def test_figure_tuple_aliases(self, alias, figure):
+        import repro.experiments.runner as runner
+
+        with pytest.deprecated_call():
+            labels = getattr(runner, alias)
+        assert labels == REGISTRY.figure_labels(figure)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.experiments.runner as runner
+
+        with pytest.raises(AttributeError):
+            runner.NOT_A_THING

@@ -1,0 +1,123 @@
+"""The persistent result cache: hit/miss accounting, cross-process
+persistence, version invalidation, eviction, maintenance."""
+
+import json
+
+import pytest
+
+from repro.experiments import Scale
+from repro.runtime import ResultCache, default_cache_dir, simulate_cell
+
+TINY_SCALE = Scale(
+    fast_mb=1.0,
+    accesses_per_core=100,
+    warmup_per_core=100,
+    num_copies=2,
+    benchmarks=("mcf",),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_cell(TINY_SCALE, "PoM", "mcf")
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        assert cache.get(TINY_SCALE, "PoM", "mcf") == result
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_survives_across_instances(self, tmp_path, result):
+        ResultCache(tmp_path).put(TINY_SCALE, "PoM", "mcf", result)
+        fresh = ResultCache(tmp_path)  # models a new process
+        assert fresh.get(TINY_SCALE, "PoM", "mcf") == result
+
+    def test_key_distinguishes_cells(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        assert cache.get(TINY_SCALE, "Chameleon", "mcf") is None
+        assert cache.get(TINY_SCALE, "PoM", "bwaves") is None
+
+    def test_key_distinguishes_scales(self, tmp_path, result):
+        import dataclasses
+
+        cache = ResultCache(tmp_path)
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        other = dataclasses.replace(TINY_SCALE, accesses_per_core=101)
+        assert cache.get(other, "PoM", "mcf") is None
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates(self, tmp_path, result):
+        ResultCache(tmp_path, version="1.0.0").put(
+            TINY_SCALE, "PoM", "mcf", result
+        )
+        bumped = ResultCache(tmp_path, version="1.0.1")
+        assert bumped.get(TINY_SCALE, "PoM", "mcf") is None
+        # The old version still addresses its own entry.
+        assert (
+            ResultCache(tmp_path, version="1.0.0").get(
+                TINY_SCALE, "PoM", "mcf"
+            )
+            == result
+        )
+
+    def test_default_version_is_package_version(self, tmp_path):
+        import repro
+
+        assert ResultCache(tmp_path).version == repro.__version__
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(TINY_SCALE, "PoM", "mcf", result)
+        path.write_text("{not json")
+        assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+        assert not path.exists()
+
+    def test_wrong_result_schema_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(TINY_SCALE, "PoM", "mcf", result)
+        payload = json.loads(path.read_text())
+        payload["result"]["schema"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+
+
+class TestEvictionAndMaintenance:
+    def test_lru_eviction_counts(self, tmp_path, result):
+        import dataclasses
+        import os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        scales = [
+            dataclasses.replace(TINY_SCALE, seed=i) for i in range(3)
+        ]
+        for i, scale in enumerate(scales):
+            path = cache.put(scale, "PoM", "mcf", result)
+            os.utime(path, (1000.0 + i, 1000.0 + i))  # deterministic LRU
+        assert cache.stats.evictions == 1
+        assert cache.info()["entries"] == 2
+        # The oldest entry went; the two recent ones remain.
+        assert cache.get(scales[0], "PoM", "mcf") is None
+        assert cache.get(scales[2], "PoM", "mcf") == result
+
+    def test_info_and_clear(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert cache.info()["entries"] == 0
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["root"] == str(tmp_path)
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"

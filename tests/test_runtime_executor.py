@@ -1,0 +1,123 @@
+"""The sweep executor: parallel/serial equivalence, cache integration,
+metrics accounting, and the run_design_sweep rewiring."""
+
+import pytest
+
+from repro.experiments import SMOKE_SCALE
+from repro.experiments.runner import clear_sweep_cache, run_design_sweep
+from repro.runtime import ResultCache, SweepExecutor
+
+DESIGNS = ("PoM", "Chameleon-Opt")
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_exactly(self):
+        """The acceptance bar: 4 workers, bit-identical to serial."""
+        serial = SweepExecutor(jobs=1).run(SMOKE_SCALE, DESIGNS)
+        parallel = SweepExecutor(jobs=4).run(SMOKE_SCALE, DESIGNS)
+        assert set(serial) == set(parallel)
+        for cell in serial:
+            assert parallel[cell] == serial[cell]
+            assert parallel[cell].geomean_ipc == serial[cell].geomean_ipc
+            assert parallel[cell].fast_hit_rate == serial[cell].fast_hit_rate
+            assert parallel[cell].swaps == serial[cell].swaps
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_unknown_design_rejected_before_running(self):
+        with pytest.raises(KeyError):
+            SweepExecutor().run(SMOKE_SCALE, ("NotADesign",))
+
+
+class TestCacheIntegration:
+    def test_warm_cache_serves_without_simulating(self, tmp_path):
+        cold = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        first = cold.run(SMOKE_SCALE, DESIGNS)
+        assert cold.metrics.simulated == len(first)
+        assert cold.metrics.disk_hits == 0
+
+        warm = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        second = warm.run(SMOKE_SCALE, DESIGNS)
+        assert warm.metrics.simulated == 0
+        assert warm.metrics.disk_hits == len(second)
+        assert warm.metrics.cache_hit_rate == pytest.approx(1.0)
+        assert second == first
+
+    def test_partial_cache_simulates_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(cache=cache).run(SMOKE_SCALE, ("PoM",))
+        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        executor.run(SMOKE_SCALE, DESIGNS)
+        n_workloads = len(SMOKE_SCALE.benchmarks)
+        assert executor.metrics.disk_hits == n_workloads
+        assert executor.metrics.simulated == n_workloads
+
+
+class TestMetrics:
+    def test_accounting_shape(self):
+        executor = SweepExecutor(jobs=1)
+        executor.run(SMOKE_SCALE, ("PoM",))
+        metrics = executor.metrics
+        assert metrics.cells_total == len(SMOKE_SCALE.benchmarks)
+        assert metrics.simulated == metrics.cells_total
+        assert metrics.sweeps == 1
+        assert metrics.wall_seconds > 0
+        assert metrics.busy_seconds > 0
+        assert 0.0 < metrics.worker_utilisation <= 1.0
+        assert metrics.mean_cell_seconds > 0
+        assert "cells=" in metrics.summary()
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        executor = SweepExecutor(
+            on_cell=lambda stat, done, total: seen.append(
+                (stat.design, stat.workload, done, total)
+            )
+        )
+        executor.run(SMOKE_SCALE, ("PoM",))
+        total = len(SMOKE_SCALE.benchmarks)
+        assert len(seen) == total
+        assert seen[-1][2:] == (total, total)
+
+    def test_metrics_accumulate_across_sweeps(self):
+        executor = SweepExecutor()
+        executor.run(SMOKE_SCALE, ("PoM",))
+        executor.run(SMOKE_SCALE, ("Chameleon-Opt",))
+        assert executor.metrics.sweeps == 2
+        assert executor.metrics.cells_total == 2 * len(
+            SMOKE_SCALE.benchmarks
+        )
+
+
+class TestRunDesignSweepRewiring:
+    def test_explicit_executor_is_used(self, tmp_path):
+        clear_sweep_cache()
+        executor = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        results = run_design_sweep(
+            SMOKE_SCALE, ("PoM",), use_cache=False, executor=executor
+        )
+        assert executor.metrics.cells_total == len(results)
+
+    def test_memo_shortcuts_the_executor(self, tmp_path):
+        clear_sweep_cache()
+        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        first = run_design_sweep(SMOKE_SCALE, ("PoM",), executor=executor)
+        again = run_design_sweep(SMOKE_SCALE, ("PoM",), executor=executor)
+        # The in-process memo returns the same objects without another
+        # executor round (no new cells recorded).
+        assert again[("PoM", "mcf")] is first[("PoM", "mcf")]
+        assert executor.metrics.cells_total == len(first)
+        clear_sweep_cache()
+
+    def test_disk_cache_refills_after_memo_clear(self, tmp_path):
+        clear_sweep_cache()
+        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        run_design_sweep(SMOKE_SCALE, ("PoM",), executor=executor)
+        clear_sweep_cache()
+        warm = SweepExecutor(cache=ResultCache(tmp_path))
+        run_design_sweep(SMOKE_SCALE, ("PoM",), executor=warm)
+        assert warm.metrics.simulated == 0
+        assert warm.metrics.disk_hits == len(SMOKE_SCALE.benchmarks)
+        clear_sweep_cache()

@@ -1,0 +1,118 @@
+"""Versioned dict round-trips for SimulationResult and nested types.
+
+The same schema is the public ``to_dict``/``from_dict`` API *and* the
+disk-cache wire format of :mod:`repro.runtime`, so the round trip must
+be lossless through JSON (which preserves finite floats exactly).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.multicore import PERFORMANCE_SCHEMA_VERSION, WorkloadPerformance
+from repro.experiments import Scale
+from repro.runtime import simulate_cell
+from repro.sim import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.stats import CounterSet
+
+TINY_SCALE = Scale(
+    fast_mb=1.0,
+    accesses_per_core=100,
+    warmup_per_core=100,
+    num_copies=2,
+    benchmarks=("mcf",),
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+counter_names = st.text(
+    alphabet="abcdefghij.", min_size=1, max_size=12
+).filter(lambda s: s.strip("."))
+
+
+@st.composite
+def simulation_results(draw) -> SimulationResult:
+    performance = WorkloadPerformance(
+        name=draw(st.text(max_size=10)),
+        per_core_ipc=draw(st.lists(finite, min_size=1, max_size=8)),
+        average_latency_ns=draw(finite),
+        page_faults=draw(st.integers(min_value=0, max_value=10**9)),
+    )
+    counters = CounterSet(
+        draw(
+            st.dictionaries(
+                counter_names,
+                st.floats(
+                    min_value=0, allow_nan=False, allow_infinity=False
+                ),
+                max_size=8,
+            )
+        )
+    )
+    return SimulationResult(
+        workload=performance.name,
+        architecture=draw(st.text(max_size=10)),
+        performance=performance,
+        fast_hit_rate=draw(finite),
+        average_latency_ns=draw(finite),
+        swaps=draw(finite),
+        page_faults=performance.page_faults,
+        counters=counters,
+        cache_mode_fraction=draw(st.none() | finite),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(simulation_results())
+    def test_result_json_round_trip_is_lossless(self, result):
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(wire) == result
+
+    def test_real_simulation_round_trips(self):
+        result = simulate_cell(TINY_SCALE, "PoM", "mcf")
+        restored = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored == result
+        assert restored.geomean_ipc == result.geomean_ipc
+        assert restored.counters == result.counters
+
+    def test_counterset_round_trip_ignores_zero_entries(self):
+        counters = CounterSet({"a.hits": 3.0})
+        counters.add("b.misses", 0.0)
+        restored = CounterSet.from_dict(counters.to_dict())
+        assert restored == counters
+        assert "b.misses" not in restored.to_dict()["counts"]
+
+    def test_performance_round_trip(self):
+        perf = WorkloadPerformance("mcf", [0.5, 0.25], 120.0, 7)
+        assert WorkloadPerformance.from_dict(perf.to_dict()) == perf
+
+
+class TestSchemaVersioning:
+    def test_result_dict_carries_schema(self):
+        result = simulate_cell(TINY_SCALE, "PoM", "mcf")
+        data = result.to_dict()
+        assert data["schema"] == RESULT_SCHEMA_VERSION
+        assert data["performance"]["schema"] == PERFORMANCE_SCHEMA_VERSION
+
+    @pytest.mark.parametrize("bad", [None, 0, 999, "1"])
+    def test_unknown_result_schema_rejected(self, bad):
+        result = simulate_cell(TINY_SCALE, "PoM", "mcf")
+        data = result.to_dict()
+        data["schema"] = bad
+        with pytest.raises(ValueError, match="schema"):
+            SimulationResult.from_dict(data)
+
+    def test_unknown_performance_schema_rejected(self):
+        perf = WorkloadPerformance("mcf", [1.0], 0.0, 0).to_dict()
+        perf["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            WorkloadPerformance.from_dict(perf)
+
+    def test_unknown_counters_schema_rejected(self):
+        data = CounterSet({"x": 1.0}).to_dict()
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            CounterSet.from_dict(data)
