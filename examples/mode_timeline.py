@@ -8,9 +8,16 @@ computes, and frees in phases, with Chameleon-Opt converting the freed
 space into cache within the same run — the ISA-Alloc/ISA-Free
 transition machinery of Figures 8-14 exercised end to end.
 
+Everything reported here is rendered from the telemetry event stream
+(docs/TELEMETRY.md): an ``EventLog`` drained per phase for the
+transition counts, and a ``TimelineRecorder`` folding the engine's
+epoch samples into the closing per-epoch table.
+
 Run:
     python examples/mode_timeline.py
 """
+
+from collections import Counter
 
 from repro import (
     ChameleonOptArchitecture,
@@ -19,10 +26,11 @@ from repro import (
     scaled_config,
     simulate,
 )
+from repro.telemetry import EventBus, EventLog, TimelineRecorder
 
 
-def phase(label, arch, workload=None, accesses=1200):
-    """Run one phase and report the mode distribution afterwards."""
+def phase(label, arch, log, workload=None, accesses=1200):
+    """Run one phase, then report it from the drained event stream."""
     if workload is not None:
         result = simulate(
             arch,
@@ -30,6 +38,7 @@ def phase(label, arch, workload=None, accesses=1200):
             accesses_per_core=accesses,
             warmup_per_core=0,
             apply_isa=False,  # allocations are driven explicitly below
+            telemetry=arch.telemetry,
         )
         hit = f"hit {result.fast_hit_rate:6.1%}"
     else:
@@ -40,10 +49,33 @@ def phase(label, arch, workload=None, accesses=1200):
         f"PoM-mode {pom_fraction:6.1%}"
     )
 
+    counts = Counter()
+    for event in log.drain():
+        kind = event.kind
+        if kind == "mode_transition":
+            counts[f"-> {event.mode}"] += 1
+        elif kind == "segment_swap":
+            counts[f"{event.reason} swaps"] += 1
+        elif kind == "isa_alloc":
+            counts["isa allocs" if event.alloc else "isa frees"] += 1
+    if counts:
+        summary = ", ".join(
+            f"{count} {name}" for name, count in sorted(counts.items())
+        )
+        print(f"    {'events:':<12} {summary}")
+
 
 def main() -> None:
     config = scaled_config(fast_mb=4.0)
     arch = ChameleonOptArchitecture(config)
+
+    # One bus, three consumers: the raw log (drained per phase), the
+    # epoch timeline, and the architecture itself as emitter — wired
+    # before the first ISA storm so allocation traffic is captured too.
+    bus = EventBus()
+    log = bus.subscribe(EventLog())
+    recorder = bus.subscribe(TimelineRecorder())
+    arch.telemetry = bus
 
     # Two co-resident tenants with different lifetimes and disjoint
     # physical footprints.
@@ -58,49 +90,45 @@ def main() -> None:
         exclude_segments=set(tenant_a.segments),
     )
 
-    isa_totals = {"alloc": 0.0, "free": 0.0, "remap": 0.0}
-
-    def note_isa():
-        # simulate() resets architecture counters at its warmup
-        # boundary, so ISA activity is banked right after each storm.
-        isa_totals["alloc"] += arch.counters["isa.alloc_seen"]
-        isa_totals["free"] += arch.counters["isa.free_seen"]
-        isa_totals["remap"] += arch.counters[
-            "chameleon_opt.proactive_remaps"
-        ]
-        arch.counters.reset()
-
     print("Chameleon-Opt mode distribution over a tenant lifecycle:\n")
 
     # Phase 1: tenant A allocates and runs; more than half of memory is
     # free, so most groups cache.
     tenant_a.apply_allocations(arch)
-    note_isa()
-    phase("A allocated (45% occupancy)", arch, tenant_a)
+    phase("A allocated (45% occupancy)", arch, log, tenant_a)
 
     # Phase 2: tenant B arrives; memory is now ~90% full and far fewer
     # groups keep a free segment to cache with.
     tenant_b.apply_allocations(arch)
-    note_isa()
-    phase("A + B allocated (90% occupancy)", arch, tenant_b)
+    phase("A + B allocated (90% occupancy)", arch, log, tenant_b)
 
     # Phase 3: tenant A finishes and frees its pages (ISA-Free storm);
     # Chameleon-Opt proactively remaps and re-enters cache mode.
     tenant_a.release_allocations(arch)
-    note_isa()
-    phase("A freed, B still running", arch, tenant_b)
+    phase("A freed, B still running", arch, log, tenant_b)
 
     # Phase 4: tenant B finishes too; the machine is idle and every
     # touched group offers its stacked slot as cache again.
     tenant_b.release_allocations(arch)
-    note_isa()
-    phase("all freed", arch)
+    phase("all freed", arch, log)
 
+    # The engine emitted ~20 EpochSamples per measured phase; the
+    # recorder folded the structural stream into per-epoch channels.
+    timeline = recorder.timeline
+    print(f"\nPer-epoch timeline ({recorder.epochs} epochs recorded):")
     print(
-        f"\nISA events seen: {isa_totals['alloc']:.0f} allocs, "
-        f"{isa_totals['free']:.0f} frees, "
-        f"{isa_totals['remap']:.0f} proactive remaps"
+        f"  {'epoch':>5} {'hit rate':>9} {'swaps':>6} "
+        f"{'to_cache':>9} {'to_pom':>7}"
     )
+    step = max(1, recorder.epochs // 12)
+    for index in range(0, recorder.epochs, step):
+        print(
+            f"  {index + 1:>5} "
+            f"{timeline.series('fast_hit_rate')[index]:>9.1%} "
+            f"{timeline.series('swaps')[index]:>6.0f} "
+            f"{timeline.series('to_cache')[index]:>9.0f} "
+            f"{timeline.series('to_pom')[index]:>7.0f}"
+        )
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.config import SystemConfig
 from repro.dram import HeterogeneousMemory
 from repro.stats import CounterSet, Histogram
+from repro.telemetry.bus import NULL_BUS, EventBus, NullBus
 
 
 @dataclass(frozen=True)
@@ -30,9 +31,21 @@ class MemoryArchitecture(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, config: SystemConfig, counters: CounterSet | None = None):
+    def __init__(
+        self,
+        config: SystemConfig,
+        counters: CounterSet | None = None,
+        telemetry: EventBus | NullBus | None = None,
+    ):
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
+        #: Structured event bus (:mod:`repro.telemetry`).  Defaults to
+        #: the shared null bus — emit sites gate on
+        #: ``self.telemetry.enabled`` so the disabled path costs one
+        #: attribute load and a false branch.  Attach a live bus either
+        #: here or by assignment (``simulate(..., telemetry=bus)`` does
+        #: the latter).
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self.memory = HeterogeneousMemory(config, self.counters)
         #: Demand-access latency distribution (ns); exposes the tail
         #: behaviour that averages hide (swap interference shows up as

@@ -18,6 +18,7 @@ from repro.config import SystemConfig
 from repro.arch.base import AccessResult, MemoryArchitecture
 from repro.arch.remap import GroupState, Mode, SegmentGeometry
 from repro.stats import CounterSet
+from repro.telemetry.events import SegmentSwap
 
 #: Default minimum number of competing-counter wins before a swap
 #: (Section III-E: PoM gates swaps behind an access-count threshold).
@@ -109,7 +110,12 @@ class PoMArchitecture(MemoryArchitecture):
             state.cooldown = self.swap_cooldown
 
     def _swap_with_fast(
-        self, group: int, state: GroupState, local: int, now_ns: float
+        self,
+        group: int,
+        state: GroupState,
+        local: int,
+        now_ns: float,
+        reason: str = "counter",
     ) -> None:
         """Swap ``local`` (off-chip) with the stacked-slot resident."""
         slot = state.slot_of[local]
@@ -127,3 +133,14 @@ class PoMArchitecture(MemoryArchitecture):
         )
         state.swap_slots(0, slot)
         self.counters.add("pom.swaps")
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(
+                SegmentSwap(
+                    time_ns=now_ns,
+                    group=group,
+                    moved_local=local,
+                    displaced_local=fast_resident,
+                    reason=reason,
+                )
+            )

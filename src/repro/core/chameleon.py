@@ -23,6 +23,11 @@ from repro.arch.base import AccessResult
 from repro.arch.pom import DEFAULT_SWAP_THRESHOLD, PoMArchitecture
 from repro.arch.remap import GroupState, Mode
 from repro.stats import CounterSet
+from repro.telemetry.events import (
+    IsaAllocEvent,
+    ModeTransition,
+    WritebackEvent,
+)
 
 
 #: Cache-mode fill policies.  ``"protect"`` evicts the cached incumbent
@@ -89,6 +94,7 @@ class ChameleonArchitecture(PoMArchitecture):
         if local != 0:
             # Flow 1-2-4-5: off-chip alloc, continue in the previous mode.
             state.abv[local] = True
+            self._emit_isa(segment_id, group, local, alloc=True)
             return
 
         # Stacked-DRAM address: the group is in cache mode (the stacked
@@ -105,7 +111,8 @@ class ChameleonArchitecture(PoMArchitecture):
             state.dirty = False
             self._clear_segment(group, slot=0)
         state.abv[0] = True
-        self._enter_pom(state)
+        self._enter_pom(group, state)
+        self._emit_isa(segment_id, group, local, alloc=True)
 
     # ------------------------------------------------------------------
     # ISA-Free (Figure 10)
@@ -118,6 +125,7 @@ class ChameleonArchitecture(PoMArchitecture):
         if local != 0:
             # Flow 1-2-4-5: off-chip free, continue in the previous mode.
             state.abv[local] = False
+            self._emit_isa(segment_id, group, local, alloc=False)
             return
 
         # Stacked address: the group was operating in PoM mode.
@@ -125,11 +133,14 @@ class ChameleonArchitecture(PoMArchitecture):
             # Flow 1-2-3-6-8: the stacked segment is currently remapped
             # off-chip; proactively swap it back so the stacked slot is
             # the one being freed (Figure 11's example).
-            self._swap_with_fast(group, state, local=0, now_ns=0.0)
+            self._swap_with_fast(
+                group, state, local=0, now_ns=0.0, reason="restore"
+            )
             self.counters.add("chameleon.restore_swaps")
         state.abv[0] = False
         self._clear_segment(group, slot=0)
-        self._enter_cache(state)
+        self._enter_cache(group, state)
+        self._emit_isa(segment_id, group, local, alloc=False)
 
     # ------------------------------------------------------------------
     # Demand path
@@ -218,6 +229,7 @@ class ChameleonArchitecture(PoMArchitecture):
         first_access_was_write: bool,
     ) -> None:
         writeback = state.cached is not None and state.dirty
+        evicted = state.cached
         _, fast_address = self.geometry.slot_device_address(group, 0, 0)
         _, slow_address = self.geometry.slot_device_address(
             group, state.slot_of[local], 0
@@ -234,6 +246,11 @@ class ChameleonArchitecture(PoMArchitecture):
             # is accounted as a swap (Section VI-B).
             self.counters.add("swap.swaps")
             self.counters.add("chameleon.dirty_evictions")
+            bus = self.telemetry
+            if bus.enabled:
+                bus.emit(
+                    WritebackEvent(time_ns=now_ns, group=group, local=evicted)
+                )
         state.cached = local
         state.dirty = first_access_was_write
         state.miss_streak = 0
@@ -252,6 +269,11 @@ class ChameleonArchitecture(PoMArchitecture):
         self.memory.slow.transfer(slow_address, seg, 0.0)
         self.counters.add("swap.swaps")
         self.counters.add("chameleon.dirty_evictions")
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(
+                WritebackEvent(time_ns=0.0, group=group, local=state.cached)
+            )
 
     def _clear_segment(self, group: int, slot: int) -> None:
         """Security clearing on cache<->PoM transitions (Section V-D2)."""
@@ -261,15 +283,20 @@ class ChameleonArchitecture(PoMArchitecture):
     # Mode transitions
     # ------------------------------------------------------------------
 
-    def _enter_pom(self, state: GroupState) -> None:
+    def _enter_pom(self, group: int, state: GroupState) -> None:
         if state.mode is not Mode.POM:
             state.mode = Mode.POM
             state.cached = None
             state.dirty = False
             state.miss_streak = 0
             self.counters.add("chameleon.to_pom")
+            bus = self.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ModeTransition(time_ns=0.0, group=group, mode="pom")
+                )
 
-    def _enter_cache(self, state: GroupState) -> None:
+    def _enter_cache(self, group: int, state: GroupState) -> None:
         if state.mode is not Mode.CACHE:
             state.mode = Mode.CACHE
             state.cached = None
@@ -278,6 +305,28 @@ class ChameleonArchitecture(PoMArchitecture):
             state.candidate = None
             state.count = 0
             self.counters.add("chameleon.to_cache")
+            bus = self.telemetry
+            if bus.enabled:
+                bus.emit(
+                    ModeTransition(time_ns=0.0, group=group, mode="cache")
+                )
+
+    def _emit_isa(
+        self, segment_id: int, group: int, local: int, alloc: bool
+    ) -> None:
+        """Emit the ISA stream event once the handler's state settled
+        (the auditor validates the group against the *post* state)."""
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(
+                IsaAllocEvent(
+                    time_ns=0.0,
+                    segment=segment_id,
+                    alloc=alloc,
+                    group=group,
+                    local=local,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Reporting (Figures 16 and 21)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.arch.remap import GroupState, Mode
 from repro.core.chameleon import ChameleonArchitecture
+from repro.telemetry.events import SegmentSwap
 
 
 class ChameleonOptArchitecture(ChameleonArchitecture):
@@ -47,6 +48,17 @@ class ChameleonOptArchitecture(ChameleonArchitecture):
                 # P is freshly allocated: no valid data to move, only the
                 # security clear of its new location.
                 self._clear_segment(group, slot=state.slot_of[local])
+                bus = self.telemetry
+                if bus.enabled:
+                    bus.emit(
+                        SegmentSwap(
+                            time_ns=0.0,
+                            group=group,
+                            moved_local=free_local,
+                            displaced_local=local,
+                            reason="proactive",
+                        )
+                    )
 
         state.abv[local] = True
         if all(state.abv):
@@ -54,8 +66,9 @@ class ChameleonOptArchitecture(ChameleonArchitecture):
             if state.cached is not None and state.dirty:
                 self._evict_writeback(group, state)
             self._clear_segment(group, slot=0)
-            self._enter_pom(state)
+            self._enter_pom(group, state)
         # Otherwise flow ...-10-11: continue in cache mode.
+        self._emit_isa(segment_id, group, local, alloc=True)
 
     # ------------------------------------------------------------------
     # ISA-Free (Figure 14)
@@ -73,6 +86,7 @@ class ChameleonOptArchitecture(ChameleonArchitecture):
             if state.cached == local:
                 state.cached = None
                 state.dirty = False
+            self._emit_isa(segment_id, group, local, alloc=False)
             return
 
         # Group was in PoM mode; the free segment re-enables cache mode.
@@ -97,8 +111,20 @@ class ChameleonOptArchitecture(ChameleonArchitecture):
             state.swap_slots(0, freed_slot)
             self.counters.add("chameleon_opt.proactive_remaps")
             self.counters.add("chameleon.restore_swaps")
+            bus = self.telemetry
+            if bus.enabled:
+                bus.emit(
+                    SegmentSwap(
+                        time_ns=0.0,
+                        group=group,
+                        moved_local=local,
+                        displaced_local=state.seg_at[freed_slot],
+                        reason="proactive",
+                    )
+                )
         self._clear_segment(group, slot=0)
-        self._enter_cache(state)
+        self._enter_cache(group, state)
+        self._emit_isa(segment_id, group, local, alloc=False)
 
     # ------------------------------------------------------------------
 

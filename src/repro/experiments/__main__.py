@@ -25,6 +25,18 @@ Sweep execution goes through :mod:`repro.runtime`:
 ``--progress``
     Print one stderr line per completed sweep cell.
 
+Telemetry (see docs/TELEMETRY.md) hangs off the same executor:
+
+``--trace`` / ``--trace-out PATH``
+    Capture every simulated cell's event stream and write a merged
+    trace — Chrome-trace JSON by default (open in ``chrome://tracing``
+    or Perfetto), JSONL when ``PATH`` ends in ``.jsonl``.  Cells served
+    from the result cache are not re-simulated and contribute no
+    events; combine with ``--no-cache`` to trace everything.
+``--audit``
+    Attach the live SRRT invariant auditor to every simulated cell;
+    the run aborts with the offending event window on violation.
+
 The cache itself is managed with the ``cache`` subcommand::
 
     python -m repro.experiments cache info
@@ -61,6 +73,7 @@ from repro.runtime import (
     default_cache_dir,
     print_progress,
 )
+from repro.telemetry import EventBus, write_trace
 
 
 def _scaled(runner):
@@ -224,6 +237,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-cell progress to stderr",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture telemetry events from every simulated cell",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trace output file (implies --trace): .jsonl for an event "
+            "log, anything else for Chrome-trace/Perfetto JSON "
+            "(default: trace.json)"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the live SRRT invariant auditor in every cell",
+    )
     args = parser.parse_args(argv)
 
     cache_dir = args.cache_dir or default_cache_dir()
@@ -241,10 +274,13 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.runner import clear_sweep_cache
 
     clear_sweep_cache()
+    trace = args.trace or args.trace_out is not None
     executor = SweepExecutor(
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(cache_dir),
         on_cell=print_progress if args.progress else None,
+        telemetry=EventBus() if trace else None,
+        audit=args.audit,
     )
     scale = dataclasses.replace(
         DEFAULT_SCALE,
@@ -256,6 +292,19 @@ def main(argv: list[str] | None = None) -> int:
     def report_runtime() -> None:
         if executor.metrics.cells_total:
             print(f"[runtime] {executor.metrics.summary()}", file=sys.stderr)
+        if trace:
+            out = args.trace_out or "trace.json"
+            tracks = {
+                f"{design}/{workload}": stream
+                for (design, workload), stream in executor.events.items()
+            }
+            count = write_trace(tracks, out)
+            audited = " audit=on" if args.audit else ""
+            print(
+                f"[telemetry] {count} events from {len(tracks)} "
+                f"simulated cell(s) -> {out}{audited}",
+                file=sys.stderr,
+            )
 
     if args.experiment == "all":
         for name, runner in EXPERIMENTS.items():

@@ -169,16 +169,27 @@ _DEPRECATED = {
     ),
 }
 
+#: Aliases that have already warned this process.  Library code that
+#: legitimately re-exports an alias (star-imports, figure modules
+#: touched in one run) would otherwise spam one warning per access;
+#: the deprecation is actionable once.  Tests clear this set to assert
+#: the warning itself.
+_warned_aliases: set[str] = set()
+
 
 def __getattr__(name: str):
     if name in _DEPRECATED:
         build, replacement = _DEPRECATED[name]
-        warnings.warn(
-            f"repro.experiments.runner.{name} is deprecated; "
-            f"use {replacement} instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if name not in _warned_aliases:
+            _warned_aliases.add(name)
+            # stacklevel=2 escapes this __getattr__ frame, so the
+            # warning points at the caller's attribute access.
+            warnings.warn(
+                f"repro.experiments.runner.{name} is deprecated; "
+                f"use {replacement} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return build()
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"

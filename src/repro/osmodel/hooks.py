@@ -19,6 +19,8 @@ from collections import defaultdict
 from typing import Dict, Protocol
 
 from repro.stats import CounterSet
+from repro.telemetry.bus import NULL_BUS, EventBus, NullBus
+from repro.telemetry.events import IsaAllocEvent
 
 
 class IsaNotifier(Protocol):
@@ -59,6 +61,7 @@ class PageHookDispatcher:
         page_bytes: int,
         notifier: IsaNotifier,
         counters: CounterSet | None = None,
+        telemetry: EventBus | NullBus | None = None,
     ) -> None:
         if segment_bytes <= 0 or page_bytes <= 0:
             raise ValueError("sizes must be positive")
@@ -68,6 +71,10 @@ class PageHookDispatcher:
         self.page_bytes = page_bytes
         self.notifier = notifier
         self.counters = counters if counters is not None else CounterSet()
+        #: OS-side view of the ISA stream (:mod:`repro.telemetry`).
+        #: When the notifier is an instrumented architecture, wire the
+        #: bus at *one* level only, or the stream is double-counted.
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self._pages_per_segment = max(1, segment_bytes // page_bytes)
         self._segment_page_refs: Dict[int, int] = defaultdict(int)
 
@@ -80,6 +87,7 @@ class PageHookDispatcher:
             for segment_id in self._covered_segments(address, size):
                 self.notifier.isa_alloc(segment_id)
                 self.counters.add("isa.alloc")
+                self._emit(segment_id, alloc=True)
         else:
             segment_id = address // self.segment_bytes
             pages = size // self.page_bytes
@@ -88,6 +96,7 @@ class PageHookDispatcher:
             if previous == 0:
                 self.notifier.isa_alloc(segment_id)
                 self.counters.add("isa.alloc")
+                self._emit(segment_id, alloc=True)
 
     def page_freed(self, address: int, page_bytes: int | None = None) -> None:
         """Algorithm 2: the OS freed the page at ``address``."""
@@ -97,6 +106,7 @@ class PageHookDispatcher:
             for segment_id in self._covered_segments(address, size):
                 self.notifier.isa_free(segment_id)
                 self.counters.add("isa.free")
+                self._emit(segment_id, alloc=False)
         else:
             segment_id = address // self.segment_bytes
             pages = size // self.page_bytes
@@ -110,6 +120,14 @@ class PageHookDispatcher:
                 del self._segment_page_refs[segment_id]
                 self.notifier.isa_free(segment_id)
                 self.counters.add("isa.free")
+                self._emit(segment_id, alloc=False)
+
+    def _emit(self, segment_id: int, alloc: bool) -> None:
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(
+                IsaAllocEvent(time_ns=0.0, segment=segment_id, alloc=alloc)
+            )
 
     def _covered_segments(self, address: int, size: int):
         first = address // self.segment_bytes

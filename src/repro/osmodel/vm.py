@@ -21,6 +21,8 @@ from repro.config import PAGE_BYTES, PAGE_FAULT_LATENCY_CYCLES, THP_BYTES
 from repro.osmodel.buddy import OutOfMemoryError
 from repro.osmodel.hooks import PageHookDispatcher
 from repro.stats import CounterSet
+from repro.telemetry.bus import NULL_BUS, EventBus, NullBus
+from repro.telemetry.events import PageFaultEvent
 
 
 @dataclass
@@ -176,6 +178,7 @@ class PageFaultEngine:
         page_bytes: int = PAGE_BYTES,
         fault_latency_cycles: int = PAGE_FAULT_LATENCY_CYCLES,
         counters: CounterSet | None = None,
+        telemetry: EventBus | NullBus | None = None,
     ) -> None:
         if capacity_bytes < page_bytes:
             raise ValueError("capacity must hold at least one page")
@@ -183,6 +186,7 @@ class PageFaultEngine:
         self.capacity_pages = capacity_bytes // page_bytes
         self.fault_latency_cycles = fault_latency_cycles
         self.counters = counters if counters is not None else CounterSet()
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self._resident: "OrderedDict[int, int]" = OrderedDict()  # page -> frame
         self._free_frames: list[int] = []
         self._next_frame = 0
@@ -216,12 +220,15 @@ class PageFaultEngine:
                 self._next_frame += 1
             self._resident[page] = frame
 
-    def access_translate(self, address: int) -> tuple[int, int]:
+    def access_translate(
+        self, address: int, now_ns: float = 0.0
+    ) -> tuple[int, int]:
         """Access ``address``; returns (fault cycles, physical address).
 
         Pages are assigned physical frames on fault; the frame of an
         evicted page is recycled, so the physical working set never
-        exceeds the configured capacity.
+        exceeds the configured capacity.  ``now_ns`` only timestamps
+        telemetry events; it does not affect the paging decision.
         """
         page, offset = divmod(address, self.page_bytes)
         frame = self._resident.get(page)
@@ -247,6 +254,9 @@ class PageFaultEngine:
             frame = self._next_frame
             self._next_frame += 1
         self._resident[page] = frame
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(PageFaultEvent(time_ns=now_ns, page=page, major=major))
         if major:
             self.counters.add("fault.page_faults")
             return self.fault_latency_cycles, frame * self.page_bytes + offset

@@ -21,6 +21,7 @@ guarantee.
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
 from repro.runtime.cells import simulate_cell, timed_cell
 from repro.runtime.executor import (
+    SweepEvents,
     SweepExecutor,
     SweepResults,
     get_default_executor,
@@ -36,6 +37,7 @@ __all__ = [
     "CacheStats",
     "CellStat",
     "ResultCache",
+    "SweepEvents",
     "SweepExecutor",
     "SweepMetrics",
     "SweepResults",

@@ -7,22 +7,43 @@ cell in a worker process is bit-identical to running it inline.  Design
 factories are closures and do not pickle, so workers receive only the
 *label* and re-resolve it against the design registry on their side of
 the fork.
+
+Telemetry rides along the same boundary: a worker cannot share the
+parent's :class:`~repro.telemetry.EventBus`, so ``timed_cell`` captures
+the cell's events on a private bus and ships them back as plain dicts
+(:meth:`TelemetryEvent.to_dict`), which the executor rehydrates with
+:func:`~repro.telemetry.event_from_dict`.  Capture is observational —
+the :class:`SimulationResult` is bit-identical with it on or off.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 from repro.sim import SimulationResult, simulate
+from repro.telemetry.auditor import InvariantAuditor
+from repro.telemetry.bus import EventBus
+from repro.telemetry.recorder import EventLog
 from repro.workloads import benchmark, build_workload
 
 
 def simulate_cell(
-    scale, design: str, workload: str
+    scale,
+    design: str,
+    workload: str,
+    telemetry: EventBus | None = None,
+    audit: bool = False,
 ) -> SimulationResult:
     """Simulate one cell from scratch (config, workload, architecture
-    all built fresh — nothing is shared between cells)."""
+    all built fresh — nothing is shared between cells).
+
+    ``telemetry`` receives the cell's event stream; ``audit`` attaches
+    a live :class:`~repro.telemetry.InvariantAuditor` to the cell's
+    architecture (on ``telemetry``, or on a private bus when none is
+    given), raising :class:`~repro.telemetry.InvariantViolation` the
+    moment an SRRT invariant breaks.
+    """
     from repro.experiments.designs import REGISTRY
 
     spec = REGISTRY.get(design)
@@ -33,23 +54,46 @@ def simulate_cell(
         num_copies=scale.num_copies,
         seed=scale.seed,
     )
+    architecture = spec.factory(config)
+    bus = telemetry
+    if audit:
+        if bus is None or not bus.enabled:
+            bus = EventBus()
+        InvariantAuditor(architecture).attach(bus)
     return simulate(
-        spec.factory(config),
+        architecture,
         built,
         accesses_per_core=scale.accesses_per_core,
         warmup_per_core=scale.warmup_per_core,
+        telemetry=bus,
     )
 
 
 def timed_cell(
     args: Tuple,
-) -> Tuple[str, str, float, SimulationResult]:
-    """Process-pool entry point: ``(scale, design, workload)`` in,
-    ``(design, workload, seconds, result)`` out."""
-    scale, design, workload = args
+) -> Tuple[str, str, float, SimulationResult, List[Dict]]:
+    """Process-pool entry point: ``(scale, design, workload[, capture,
+    audit])`` in, ``(design, workload, seconds, result, events)`` out.
+
+    ``events`` is a list of :meth:`TelemetryEvent.to_dict` dicts (events
+    themselves carry no pickle guarantee across versions; the dict form
+    is the wire format) — empty unless ``capture`` is set.
+    """
+    scale, design, workload, capture, audit = (
+        args if len(args) == 5 else (*args, False, False)
+    )
     start = time.perf_counter()
-    result = simulate_cell(scale, design, workload)
-    return design, workload, time.perf_counter() - start, result
+    if capture or audit:
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        result = simulate_cell(
+            scale, design, workload, telemetry=bus, audit=audit
+        )
+        events = [event.to_dict() for event in log.events] if capture else []
+    else:
+        result = simulate_cell(scale, design, workload)
+        events = []
+    return design, workload, time.perf_counter() - start, result, events
 
 
 __all__ = ["simulate_cell", "timed_cell"]

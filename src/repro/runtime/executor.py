@@ -19,7 +19,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.cache import ResultCache
-from repro.runtime.cells import simulate_cell, timed_cell
+from repro.runtime.cells import timed_cell
 from repro.runtime.metrics import (
     SOURCE_DISK,
     SOURCE_SIMULATED,
@@ -28,26 +28,53 @@ from repro.runtime.metrics import (
     SweepMetrics,
 )
 from repro.sim import SimulationResult
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import TelemetryEvent, event_from_dict
 
 #: Sweep results keyed by ``(design, workload)``.
 SweepResults = Dict[Tuple[str, str], SimulationResult]
 
+#: Captured telemetry keyed by ``(design, workload)``.
+SweepEvents = Dict[Tuple[str, str], List[TelemetryEvent]]
+
 
 class SweepExecutor:
-    """Runs design sweeps: cache front-end, process-pool back-end."""
+    """Runs design sweeps: cache front-end, process-pool back-end.
+
+    Telemetry capture (``telemetry=EventBus()``) records each simulated
+    cell's event stream into :attr:`events` and replays it onto the
+    given bus at the parent, cell by cell in completion order — worker
+    processes cannot share the parent's bus, so events cross the pool
+    boundary as dicts and are rehydrated here.  ``audit=True`` attaches
+    a live invariant auditor to every cell's architecture *inside* the
+    worker (violations propagate out of :meth:`run`).
+
+    Events never touch the result cache: the cache key and payload are
+    exactly the telemetry-off ones, so a warm-cache replay stays
+    bit-identical — but it also means cells served from disk contribute
+    **no events** (re-run with the cache disabled to trace them).
+    """
 
     def __init__(
         self,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         on_cell: Optional[ProgressCallback] = None,
+        telemetry: Optional[EventBus] = None,
+        audit: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.on_cell = on_cell
+        self.telemetry = telemetry
+        self.audit = audit
         self.metrics = SweepMetrics(jobs=jobs)
+        #: Event streams of simulated (never cached) cells, accumulated
+        #: across :meth:`run` calls; a re-simulated cell overwrites its
+        #: earlier entry.
+        self.events: SweepEvents = {}
 
     def run(self, scale, designs: Sequence[str]) -> SweepResults:
         """Simulate every ``(design, workload)`` cell of ``scale``,
@@ -85,12 +112,14 @@ class SweepExecutor:
             else:
                 pending.append((design, workload))
 
-        for design, workload, seconds, result in self._execute(
+        for design, workload, seconds, result, events in self._execute(
             scale, pending
         ):
             results[(design, workload)] = result
             if self.cache is not None:
                 self.cache.put(scale, design, workload, result)
+            if events:
+                self._merge_events(design, workload, events)
             done += 1
             self._record(
                 CellStat(design, workload, seconds, SOURCE_SIMULATED),
@@ -103,22 +132,44 @@ class SweepExecutor:
 
     # -- internals -----------------------------------------------------
 
+    @property
+    def _capture(self) -> bool:
+        return self.telemetry is not None and self.telemetry.enabled
+
+    def _merge_events(
+        self, design: str, workload: str, events: Sequence[dict]
+    ) -> None:
+        """Rehydrate one cell's wire-format events and replay them on
+        the parent bus, preserving in-cell order."""
+        hydrated = [event_from_dict(data) for data in events]
+        self.events[(design, workload)] = hydrated
+        bus = self.telemetry
+        if bus is not None and bus.enabled:
+            for event in hydrated:
+                bus.emit(event)
+
     def _execute(self, scale, pending: Sequence[Tuple[str, str]]):
-        """Yield ``(design, workload, seconds, result)`` for each
-        missing cell — inline at ``jobs=1``, pooled otherwise."""
+        """Yield ``(design, workload, seconds, result, events)`` for
+        each missing cell — inline at ``jobs=1``, pooled otherwise.
+        Both paths run the same :func:`timed_cell` entry point, so
+        event capture is identical at any worker count."""
         if not pending:
             return
+        capture = self._capture
         if self.jobs == 1:
             for design, workload in pending:
-                start = time.perf_counter()
-                result = simulate_cell(scale, design, workload)
-                yield design, workload, time.perf_counter() - start, result
+                yield timed_cell(
+                    (scale, design, workload, capture, self.audit)
+                )
             return
 
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(timed_cell, (scale, design, workload))
+                pool.submit(
+                    timed_cell,
+                    (scale, design, workload, capture, self.audit),
+                )
                 for design, workload in pending
             }
             while futures:
@@ -156,6 +207,7 @@ def set_default_executor(executor: Optional[SweepExecutor]) -> None:
 
 
 __all__ = [
+    "SweepEvents",
     "SweepExecutor",
     "SweepResults",
     "get_default_executor",

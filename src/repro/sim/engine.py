@@ -18,6 +18,8 @@ from repro.config import SystemConfig
 from repro.cpu import CoreRunStats, MulticoreModel, WorkloadPerformance
 from repro.osmodel.vm import PageFaultEngine
 from repro.stats import CounterSet
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import EpochSample
 import heapq
 
 from repro.workloads.multiprog import MultiprogramWorkload
@@ -27,6 +29,10 @@ from repro.workloads.multiprog import MultiprogramWorkload
 #: bump it whenever the dict shape (or the meaning of a field) changes —
 #: cached entries written under another version are never deserialised.
 RESULT_SCHEMA_VERSION = 1
+
+#: Target number of :class:`repro.telemetry.EpochSample` emissions over
+#: the measured window when a telemetry bus is attached.
+TELEMETRY_EPOCHS = 20
 
 
 @dataclass
@@ -98,6 +104,7 @@ def simulate(
     accesses_per_core: int,
     apply_isa: bool = True,
     warmup_per_core: int | None = None,
+    telemetry: EventBus | None = None,
 ) -> SimulationResult:
     """Run ``workload`` on ``architecture`` and summarise.
 
@@ -115,6 +122,12 @@ def simulate(
     config = workload.config
     if warmup_per_core is None:
         warmup_per_core = accesses_per_core // 2
+    # Telemetry is observational: attaching a bus must not perturb the
+    # simulation (a dedicated regression test holds results
+    # bit-identical with telemetry on and off).
+    emit = telemetry is not None and telemetry.enabled
+    if emit:
+        architecture.telemetry = telemetry
     if apply_isa:
         workload.apply_allocations(architecture)
 
@@ -128,6 +141,7 @@ def simulate(
             capacity_bytes=architecture.os_visible_bytes,
             page_bytes=config.page_bytes,
             fault_latency_cycles=config.page_fault_latency_cycles,
+            telemetry=telemetry,
         )
         # The allocation phase touched the whole footprint once, so a
         # footprint larger than the visible capacity starts execution
@@ -157,6 +171,29 @@ def simulate(
     streams = [
         iter(s) for s in workload.streams(warmup_per_core + accesses_per_core)
     ]
+
+    # Epoch sampling: every ``epoch_every`` measured device accesses the
+    # engine snapshots its cumulative counters onto the bus.  The value
+    # is 0 when telemetry is off, so the hot loop pays one false branch.
+    total_measured = accesses_per_core * workload.num_copies
+    epoch_every = (
+        max(1, total_measured // TELEMETRY_EPOCHS) if emit else 0
+    )
+    epoch_state = {"issued": 0, "epoch": 0}
+
+    def emit_epoch(now_ns: float) -> None:
+        epoch_state["epoch"] += 1
+        counters = architecture.counters
+        telemetry.emit(
+            EpochSample(
+                time_ns=now_ns,
+                epoch=epoch_state["epoch"],
+                accesses=counters["arch.accesses"],
+                fast_hits=counters["arch.fast_hits"],
+                swaps=counters["swap.swaps"],
+                faults=float(pager.page_faults) if pager is not None else 0.0,
+            )
+        )
 
     def run_phase(budget_per_core: int, record_stats: bool) -> None:
         # Two-phase scheduling: popping a core first *prepares* its next
@@ -192,7 +229,7 @@ def simulate(
                 address = record.address
                 if pager is not None:
                     fault_cycles, address = pager.access_translate(
-                        record.address
+                        record.address, now_ns=clock
                     )
                     if fault_cycles:
                         if record_stats:
@@ -211,12 +248,20 @@ def simulate(
                 stats = per_core[core]
                 stats.memory_accesses += 1
                 stats.memory_latency_ns += result.latency_ns
+                if epoch_every:
+                    epoch_state["issued"] += 1
+                    if epoch_state["issued"] % epoch_every == 0:
+                        emit_epoch(issue_ns)
             core_clock_ns[core] = issue_ns + result.latency_ns / mlp
             heapq.heappush(heap, (core_clock_ns[core], core))
 
     run_phase(warmup_per_core, record_stats=False)
     architecture.counters.reset()
     run_phase(accesses_per_core, record_stats=True)
+    if epoch_every and epoch_state["issued"] % epoch_every:
+        # Flush the trailing partial epoch so the recorded timeline
+        # covers the full measured window.
+        emit_epoch(max(core_clock_ns))
 
     model = MulticoreModel(config)
     performance = model.summarize(workload.name, per_core)

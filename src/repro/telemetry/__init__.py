@@ -1,0 +1,75 @@
+"""Event-sourced instrumentation for the simulator.
+
+The paper's figures are claims about event *sequences* — mode-bit
+flips (Figure 16), swap traffic (Figure 17), the ISA-Alloc/ISA-Free
+stream (Figures 8-14) — but scalar end-of-run counters cannot show
+*which* transitions diverge when a reproduced shape is off.  This
+package adds the observability layer:
+
+* :class:`EventBus` / :data:`NULL_BUS` — a structured event bus with a
+  zero-overhead disabled fast path (the default everywhere);
+* typed events (:mod:`~repro.telemetry.events`): ``SegmentSwap``,
+  ``ModeTransition``, ``IsaAllocEvent``, ``WritebackEvent``,
+  ``PageFaultEvent``, ``EpochSample``;
+* :class:`EventLog` and :class:`TimelineRecorder` — raw capture and
+  per-epoch folding into :class:`repro.stats.Timeline`;
+* exporters — JSONL and Chrome-trace/Perfetto JSON
+  (``chrome://tracing`` / ui.perfetto.dev);
+* :class:`InvariantAuditor` — live SRRT consistency checking that
+  fails fast with the offending event window.
+
+Wire it through :func:`repro.sim.simulate` (``telemetry=bus``), the
+:class:`repro.runtime.SweepExecutor` (``telemetry=``/``audit=``), or
+the CLI (``--trace``/``--trace-out``/``--audit``).  See
+docs/TELEMETRY.md.
+"""
+
+from repro.telemetry.auditor import InvariantAuditor, InvariantViolation
+from repro.telemetry.bus import NULL_BUS, EventBus, EventHandler, NullBus
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    EpochSample,
+    IsaAllocEvent,
+    ModeTransition,
+    PageFaultEvent,
+    SegmentSwap,
+    TelemetryEvent,
+    WritebackEvent,
+    event_from_dict,
+)
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.telemetry.recorder import (
+    TIMELINE_CHANNELS,
+    EventLog,
+    TimelineRecorder,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "EpochSample",
+    "EventBus",
+    "EventHandler",
+    "EventLog",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "IsaAllocEvent",
+    "ModeTransition",
+    "NULL_BUS",
+    "NullBus",
+    "PageFaultEvent",
+    "SegmentSwap",
+    "TIMELINE_CHANNELS",
+    "TelemetryEvent",
+    "TimelineRecorder",
+    "WritebackEvent",
+    "chrome_trace_events",
+    "event_from_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

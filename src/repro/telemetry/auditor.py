@@ -1,0 +1,206 @@
+"""Live SRRT consistency auditing over the event stream.
+
+The :class:`InvariantAuditor` subscribes to an :class:`~repro
+.telemetry.bus.EventBus` alongside the recorders and, after every
+structural event, re-validates the touched segment group against the
+design's invariants:
+
+* the remap vector is a permutation of the group's slots and
+  ``slot_of`` inverts ``seg_at`` (the SRRT tag bits stay coherent);
+* a PoM-mode group holds no cached segment, and a set dirty bit means
+  exactly one cached segment is pending writeback;
+* ABV/mode-bit coherence — basic Chameleon may only run a group in
+  cache mode while the *stacked* segment is ISA-free (Figure 8's
+  gating), Chameleon-Opt keeps a group in cache mode iff *any* segment
+  is free with a free segment as the nominal stacked resident
+  (Section V-C's invariant).
+
+A violation raises :class:`InvariantViolation` immediately — failing
+fast at the offending operation — with the last ``window`` events
+formatted into the message so the divergence is debuggable without
+re-running.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import (
+    IsaAllocEvent,
+    ModeTransition,
+    SegmentSwap,
+    TelemetryEvent,
+    WritebackEvent,
+)
+
+#: Events that mutate (or witness) per-group SRRT state.
+_STRUCTURAL = (SegmentSwap, ModeTransition, IsaAllocEvent, WritebackEvent)
+
+
+class InvariantViolation(AssertionError):
+    """An SRRT consistency check failed.
+
+    Constructed with a single pre-formatted message so the exception
+    survives pickling across :class:`~repro.runtime.SweepExecutor`
+    worker-process boundaries.
+    """
+
+
+class InvariantAuditor:
+    """Checks one architecture's SRRT state after every structural
+    event; keeps a bounded window of recent events for diagnosis."""
+
+    def __init__(self, architecture, window: int = 16) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.architecture = architecture
+        self.window: Deque[TelemetryEvent] = deque(maxlen=window)
+        self.checked = 0
+        self.violations = 0
+
+    def attach(self, bus: EventBus) -> "InvariantAuditor":
+        """Subscribe to ``bus``; returns self for chaining."""
+        bus.subscribe(self)
+        return self
+
+    # -- subscriber ----------------------------------------------------
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        self.window.append(event)
+        if isinstance(event, _STRUCTURAL):
+            group = getattr(event, "group", None)
+            if group is not None:
+                # ABV/mode coherence only holds at *settled* points:
+                # swap and writeback events fire mid-transition (ABV
+                # already updated, mode bit not yet flipped), while
+                # mode transitions and ISA events are emitted once the
+                # handler's state is final.
+                self.check_group(
+                    group,
+                    event,
+                    check_abv=isinstance(
+                        event, (ModeTransition, IsaAllocEvent)
+                    ),
+                )
+
+    # -- checks --------------------------------------------------------
+
+    def check_group(
+        self,
+        group: int,
+        event: Optional[TelemetryEvent] = None,
+        check_abv: bool = True,
+    ) -> None:
+        """Validate every invariant of ``group``'s SRRT entry."""
+        arch = self.architecture
+        group_state = getattr(arch, "group_state", None)
+        if group_state is None:
+            return  # design without SRRT machinery: nothing to audit
+        state = group_state(group)
+        self.checked += 1
+
+        size = state.size
+        if sorted(state.seg_at) != list(range(size)):
+            self._fail(group, event, f"seg_at={state.seg_at} is not a permutation")
+        for slot, local in enumerate(state.seg_at):
+            if state.slot_of[local] != slot:
+                self._fail(
+                    group,
+                    event,
+                    f"slot_of={state.slot_of} does not invert seg_at={state.seg_at}",
+                )
+
+        mode = getattr(state.mode, "value", state.mode)
+        if mode == "pom" and state.cached is not None:
+            self._fail(
+                group, event, f"PoM-mode group caches local {state.cached}"
+            )
+        if state.cached is not None and not 0 <= state.cached < size:
+            self._fail(group, event, f"cached local {state.cached} out of range")
+        if state.dirty and state.cached is None:
+            self._fail(
+                group, event, "dirty bit set with no cached segment pending writeback"
+            )
+
+        if check_abv:
+            self._check_mode_abv(group, state, mode, event)
+
+    def _check_mode_abv(self, group, state, mode, event) -> None:
+        """ABV/mode-bit coherence, per design (lazy imports keep this
+        module free of repro.core at import time)."""
+        from repro.core.chameleon import ChameleonArchitecture
+        from repro.core.chameleon_opt import ChameleonOptArchitecture
+
+        arch = self.architecture
+        if type(arch) is ChameleonOptArchitecture:
+            # Section V-C: cache mode iff any segment free, with a free
+            # segment as the nominal stacked resident.
+            if mode == "cache":
+                if not state.any_free:
+                    self._fail(
+                        group, event, "cache mode with every segment allocated"
+                    )
+                resident = state.resident_of_fast()
+                if state.abv[resident]:
+                    self._fail(
+                        group,
+                        event,
+                        f"cache mode with allocated local {resident} "
+                        f"resident in the stacked slot",
+                    )
+            # (No PoM-direction check: ISA-Free legitimately updates the
+            # ABV, swaps, and only then flips the mode bit, so a group
+            # is transiently PoM-with-free-space mid-transition.)
+        elif isinstance(arch, ChameleonArchitecture) and not isinstance(
+            arch, ChameleonOptArchitecture
+        ):
+            # Figure 8: basic Chameleon gates cache mode on the stacked
+            # segment being ISA-free.
+            if mode == "cache" and state.abv[0]:
+                self._fail(
+                    group,
+                    event,
+                    "cache mode while the stacked segment is allocated",
+                )
+            if mode == "pom" and not state.abv[0]:
+                self._fail(
+                    group,
+                    event,
+                    "PoM mode while the stacked segment is free",
+                )
+
+    def audit_all(self) -> int:
+        """End-of-run sweep over every touched group; returns the
+        number of groups checked."""
+        groups = getattr(self.architecture, "_groups", None)
+        if not groups:
+            return 0
+        for group in list(groups):
+            self.check_group(group, event=None)
+        return len(groups)
+
+    # -- failure -------------------------------------------------------
+
+    def _fail(self, group, event, problem: str) -> None:
+        self.violations += 1
+        lines = [
+            f"SRRT invariant violated in group {group} of "
+            f"{self.architecture.name!r}: {problem}",
+        ]
+        state = self.architecture.group_state(group)
+        lines.append(
+            f"  group state: mode={getattr(state.mode, 'value', state.mode)} "
+            f"seg_at={state.seg_at} slot_of={state.slot_of} "
+            f"abv={state.abv} cached={state.cached} dirty={state.dirty}"
+        )
+        if event is not None:
+            lines.append(f"  offending event: {event!r}")
+        if self.window:
+            lines.append(f"  last {len(self.window)} event(s):")
+            lines.extend(f"    {e!r}" for e in self.window)
+        raise InvariantViolation("\n".join(lines))
+
+
+__all__ = ["InvariantAuditor", "InvariantViolation"]

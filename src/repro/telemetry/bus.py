@@ -1,0 +1,90 @@
+"""The event bus: fan-out when enabled, nothing when not.
+
+Instrumentation must cost nothing on the default path — the
+acceptance bar is < 5% wall-time overhead with telemetry disabled, and
+the emit sites sit on the simulator's hot loops.  Emitters therefore
+follow one pattern::
+
+    bus = self.telemetry
+    if bus.enabled:
+        bus.emit(SegmentSwap(...))
+
+With the :data:`NULL_BUS` default, that is one attribute load and one
+false branch — the event object is never even constructed.  Wiring a
+real :class:`EventBus` flips ``enabled`` and fans every event out to
+the subscribed handlers synchronously, in emission order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.telemetry.events import TelemetryEvent
+
+#: A subscriber: any callable taking one event.
+EventHandler = Callable[[TelemetryEvent], None]
+
+
+class NullBus:
+    """The disabled fast path: drops everything, accepts no subscribers."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def emit(self, event: TelemetryEvent) -> None:  # pragma: no cover
+        """Drop ``event`` (emit sites gate on ``enabled`` first)."""
+
+    def subscribe(self, handler: EventHandler) -> EventHandler:
+        raise RuntimeError(
+            "cannot subscribe to the null bus; create an EventBus and "
+            "attach it (simulate(..., telemetry=bus) or "
+            "architecture.telemetry = bus)"
+        )
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared disabled bus — the default ``telemetry`` of every
+#: architecture, dispatcher and pager.  Stateless, hence shareable.
+NULL_BUS = NullBus()
+
+
+class EventBus:
+    """Synchronous fan-out bus with typed events."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._handlers: List[EventHandler] = []
+        self.emitted = 0
+
+    def subscribe(self, handler: EventHandler) -> EventHandler:
+        """Attach ``handler``; returns it (decorator-friendly)."""
+        self._handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: EventHandler) -> None:
+        self._handlers.remove(handler)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Deliver ``event`` to every subscriber, in subscribe order.
+
+        Handlers may raise (the invariant auditor does, on purpose);
+        the exception propagates to the emit site so a violated
+        invariant stops the run at the offending operation.
+        """
+        self.emitted += 1
+        for handler in self._handlers:
+            handler(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._handlers)
+
+    def __bool__(self) -> bool:
+        return True
+
+
+__all__ = ["EventBus", "EventHandler", "NULL_BUS", "NullBus"]

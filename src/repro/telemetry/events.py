@@ -1,0 +1,167 @@
+"""Typed telemetry events — the vocabulary of the event bus.
+
+Every headline claim of the paper is a claim about *event sequences*:
+mode-bit flips between PoM and cache mode (Figure 16), swap traffic
+under the competing counter (Figure 17), the ISA-Alloc/ISA-Free stream
+driving the ABV (Figures 8-14).  Each event class below captures one
+such occurrence with enough context to audit SRRT consistency after
+the fact (or live, see :mod:`repro.telemetry.auditor`) and to export
+the run as a Chrome/Perfetto trace.
+
+Events are frozen dataclasses with a stable ``kind`` tag; the
+``to_dict``/:func:`event_from_dict` round trip is the wire format used
+to ship events out of :class:`~repro.runtime.SweepExecutor` worker
+processes and into the JSONL exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Dict, Mapping, Optional, Type
+
+#: ``SegmentSwap.reason`` values.
+SWAP_REASONS = (
+    "counter",         # PoM competing counter crossed the threshold
+    "restore",         # ISA-Free restoring the stacked home (Figure 11)
+    "proactive",       # Chameleon-Opt free-space remap (Figures 12-14)
+    "dirty_eviction",  # cache-mode dirty evict+fill pair (Section VI-B)
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base of every bus event; ``time_ns`` is simulated time."""
+
+    kind: ClassVar[str] = "event"
+
+    time_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain dict, ``kind`` tag included."""
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@dataclass(frozen=True)
+class SegmentSwap(TelemetryEvent):
+    """One SRRT remap: the residents of two slots exchanged.
+
+    ``moved_local`` is the off-chip-resident local id pulled toward the
+    stacked slot; ``displaced_local`` the previous stacked resident
+    pushed out.  ``reason`` is one of :data:`SWAP_REASONS`.
+    """
+
+    kind: ClassVar[str] = "segment_swap"
+
+    group: int
+    moved_local: int
+    displaced_local: int
+    reason: str = "counter"
+
+
+@dataclass(frozen=True)
+class ModeTransition(TelemetryEvent):
+    """A segment group flipped its SRRT mode bit."""
+
+    kind: ClassVar[str] = "mode_transition"
+
+    group: int
+    mode: str  # "pom" | "cache"
+
+
+@dataclass(frozen=True)
+class IsaAllocEvent(TelemetryEvent):
+    """One ISA-Alloc (``alloc=True``) or ISA-Free (``alloc=False``).
+
+    Architecture-level emitters fill ``group``/``local``; the
+    page-hook dispatcher (which has no group geometry) leaves them
+    ``None``.
+    """
+
+    kind: ClassVar[str] = "isa_alloc"
+
+    segment: int
+    alloc: bool
+    group: Optional[int] = None
+    local: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WritebackEvent(TelemetryEvent):
+    """A dirty cached segment was written back to its home slot."""
+
+    kind: ClassVar[str] = "writeback"
+
+    group: int
+    local: int
+
+
+@dataclass(frozen=True)
+class PageFaultEvent(TelemetryEvent):
+    """The OS pager faulted on a non-resident page.
+
+    ``major`` distinguishes SSD swap-ins (Table I latency) from cheap
+    first-touch minor faults.
+    """
+
+    kind: ClassVar[str] = "page_fault"
+
+    page: int
+    major: bool
+
+
+@dataclass(frozen=True)
+class EpochSample(TelemetryEvent):
+    """Periodic counter snapshot from the simulation engine.
+
+    Values are *cumulative* over the measured window; consumers that
+    want per-epoch rates (e.g. the timeline recorder) difference
+    consecutive samples.
+    """
+
+    kind: ClassVar[str] = "epoch_sample"
+
+    epoch: int
+    accesses: float
+    fast_hits: float
+    swaps: float
+    faults: float
+
+
+#: ``kind`` tag -> event class, for deserialisation.
+EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
+    cls.kind: cls
+    for cls in (
+        SegmentSwap,
+        ModeTransition,
+        IsaAllocEvent,
+        WritebackEvent,
+        PageFaultEvent,
+        EpochSample,
+    )
+}
+
+
+def event_from_dict(data: Mapping[str, Any]) -> TelemetryEvent:
+    """Inverse of :meth:`TelemetryEvent.to_dict`."""
+    try:
+        cls = EVENT_TYPES[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind {data.get('kind')!r}") from None
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in names})
+
+
+__all__ = [
+    "EVENT_TYPES",
+    "EpochSample",
+    "IsaAllocEvent",
+    "ModeTransition",
+    "PageFaultEvent",
+    "SWAP_REASONS",
+    "SegmentSwap",
+    "TelemetryEvent",
+    "WritebackEvent",
+    "event_from_dict",
+]

@@ -1,0 +1,125 @@
+"""Bus subscribers that accumulate events: raw log and epoch timeline.
+
+:class:`EventLog` keeps the raw stream (optionally bounded) for the
+exporters and for post-mortem windows; :class:`TimelineRecorder` folds
+the stream into the existing :class:`repro.stats.Timeline` per-epoch
+channels, so event-sourced runs plug straight into the timeline
+reporting the figure runners already use (Figures 2c/3 style).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.stats.timeline import Timeline
+from repro.telemetry.events import (
+    EpochSample,
+    IsaAllocEvent,
+    ModeTransition,
+    PageFaultEvent,
+    SegmentSwap,
+    TelemetryEvent,
+    WritebackEvent,
+)
+
+
+class EventLog:
+    """Collects events in arrival order.
+
+    ``limit`` bounds memory for long runs: when set, only the most
+    recent ``limit`` events are retained (the count of everything seen
+    stays in ``total``).
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 (or None for unbounded)")
+        self._events: Deque[TelemetryEvent] = deque(maxlen=limit)
+        self.total = 0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self.total += 1
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.total = 0
+
+    def drain(self) -> List[TelemetryEvent]:
+        """Return the retained events and reset the log."""
+        events = list(self._events)
+        self.clear()
+        return events
+
+
+#: The channels :class:`TimelineRecorder` folds events into.
+TIMELINE_CHANNELS = (
+    "swaps",          # SegmentSwap events this epoch (all reasons)
+    "to_cache",       # ModeTransition -> cache mode
+    "to_pom",         # ModeTransition -> PoM mode
+    "isa_allocs",     # IsaAllocEvent(alloc=True)
+    "isa_frees",      # IsaAllocEvent(alloc=False)
+    "writebacks",     # WritebackEvent
+    "page_faults",    # PageFaultEvent (major only)
+    "fast_hit_rate",  # per-epoch hit rate from EpochSample deltas
+)
+
+
+class TimelineRecorder:
+    """Folds bus events into per-epoch :class:`Timeline` samples.
+
+    Structural events (swaps, mode flips, ISA traffic, writebacks,
+    faults) are counted as they arrive; each :class:`EpochSample`
+    closes the epoch, appending one timeline row at the sample's time
+    with the accumulated counts plus the epoch's stacked hit rate
+    (differenced from the previous cumulative sample).
+    """
+
+    def __init__(self) -> None:
+        self.timeline = Timeline(TIMELINE_CHANNELS)
+        self._pending = dict.fromkeys(TIMELINE_CHANNELS[:-1], 0.0)
+        self._last_accesses = 0.0
+        self._last_fast_hits = 0.0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        pending = self._pending
+        if isinstance(event, SegmentSwap):
+            pending["swaps"] += 1
+        elif isinstance(event, ModeTransition):
+            key = "to_cache" if event.mode == "cache" else "to_pom"
+            pending[key] += 1
+        elif isinstance(event, IsaAllocEvent):
+            pending["isa_allocs" if event.alloc else "isa_frees"] += 1
+        elif isinstance(event, WritebackEvent):
+            pending["writebacks"] += 1
+        elif isinstance(event, PageFaultEvent):
+            if event.major:
+                pending["page_faults"] += 1
+        elif isinstance(event, EpochSample):
+            self._close_epoch(event)
+
+    def _close_epoch(self, sample: EpochSample) -> None:
+        accesses = sample.accesses - self._last_accesses
+        fast_hits = sample.fast_hits - self._last_fast_hits
+        self._last_accesses = sample.accesses
+        self._last_fast_hits = sample.fast_hits
+        hit_rate = fast_hits / accesses if accesses > 0 else 0.0
+        self.timeline.sample(
+            sample.time_ns, fast_hit_rate=hit_rate, **self._pending
+        )
+        self._pending = dict.fromkeys(self._pending, 0.0)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.timeline)
+
+
+__all__ = ["EventLog", "TIMELINE_CHANNELS", "TimelineRecorder"]

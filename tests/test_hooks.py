@@ -114,6 +114,94 @@ class TestLargeSegments:
         assert self.notifier.allocs == [0, 0]
 
 
+class TestInversionTransitions:
+    """64B CAMEO segments under 4KB pages: every covered segment is
+    notified exactly once per free<->allocated transition, however the
+    page events arrive."""
+
+    def setup_method(self):
+        self.notifier = RecordingNotifier()
+        self.dispatcher = PageHookDispatcher(
+            segment_bytes=64,
+            page_bytes=PAGE_BYTES,
+            notifier=self.notifier,
+        )
+
+    def test_exact_segment_identities_at_offset(self):
+        # The page at 8KB covers segments [128, 192): identity, order,
+        # and multiplicity all pinned down.
+        self.dispatcher.page_allocated(2 * PAGE_BYTES)
+        assert self.notifier.allocs == list(range(128, 192))
+
+    def test_alloc_free_alloc_cycle_notifies_once_per_transition(self):
+        self.dispatcher.page_allocated(0)
+        self.dispatcher.page_freed(0)
+        self.dispatcher.page_allocated(0)
+        segments = list(range(64))
+        # Two allocated transitions and one freed per segment — never
+        # a duplicate within one page event.
+        assert self.notifier.allocs == segments + segments
+        assert self.notifier.frees == segments
+
+    def test_adjacent_pages_never_share_segments(self):
+        self.dispatcher.page_allocated(0)
+        self.dispatcher.page_allocated(PAGE_BYTES)
+        assert len(set(self.notifier.allocs)) == len(self.notifier.allocs)
+
+    def test_thp_free_mirrors_thp_alloc_exactly(self):
+        self.dispatcher.page_allocated(0, page_bytes=THP_BYTES)
+        self.dispatcher.page_freed(0, page_bytes=THP_BYTES)
+        assert self.notifier.frees == self.notifier.allocs
+        assert len(self.notifier.frees) == THP_BYTES // 64
+
+
+class TestDispatcherTelemetry:
+    """The dispatcher's OS-side ISA event stream mirrors the notifier
+    calls one-for-one, in both size regimes."""
+
+    def _wired(self, segment_bytes):
+        from repro.telemetry import EventBus, EventLog
+
+        notifier = RecordingNotifier()
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        dispatcher = PageHookDispatcher(
+            segment_bytes=segment_bytes,
+            page_bytes=PAGE_BYTES,
+            notifier=notifier,
+            telemetry=bus,
+        )
+        return dispatcher, notifier, log
+
+    def test_small_segments_one_event_per_notification(self):
+        dispatcher, notifier, log = self._wired(64)
+        dispatcher.page_allocated(0)
+        dispatcher.page_freed(0)
+        events = log.events
+        assert [e.segment for e in events if e.alloc] == notifier.allocs
+        assert [e.segment for e in events if not e.alloc] == notifier.frees
+
+    def test_refcounted_segments_one_event_per_transition(self):
+        dispatcher, notifier, log = self._wired(16 * KB)
+        for page in range(4):
+            dispatcher.page_allocated(page * PAGE_BYTES)
+        for page in range(4):
+            dispatcher.page_freed(page * PAGE_BYTES)
+        assert [(e.segment, e.alloc) for e in log.events] == [
+            (0, True),
+            (0, False),
+        ]
+
+    def test_null_bus_emits_nothing(self):
+        from repro.telemetry import NULL_BUS
+
+        dispatcher = PageHookDispatcher(
+            64, PAGE_BYTES, NullNotifier(), telemetry=NULL_BUS
+        )
+        dispatcher.page_allocated(0)
+        assert dispatcher.isa_alloc_count == 64
+
+
 class TestValidation:
     def test_non_power_of_two_rejected(self):
         with pytest.raises(ValueError):

@@ -31,6 +31,75 @@ class TestParallelEquivalence:
             SweepExecutor().run(SMOKE_SCALE, ("NotADesign",))
 
 
+class TestTelemetryCapture:
+    """Telemetry is observational: identical results with it on or off,
+    no events in the cache, streams merged at the parent."""
+
+    def test_results_bit_identical_with_telemetry_and_audit(self):
+        from repro.telemetry import EventBus
+
+        plain = SweepExecutor(jobs=1).run(SMOKE_SCALE, DESIGNS)
+        traced_executor = SweepExecutor(
+            jobs=1, telemetry=EventBus(), audit=True
+        )
+        traced = traced_executor.run(SMOKE_SCALE, DESIGNS)
+        assert set(traced) == set(plain)
+        for cell in plain:
+            assert traced[cell].to_dict() == plain[cell].to_dict()
+        # ... and the traced run actually captured something.
+        assert set(traced_executor.events) == set(plain)
+        assert all(traced_executor.events.values())
+
+    def test_pooled_capture_matches_serial_capture(self):
+        from repro.telemetry import EventBus
+
+        serial = SweepExecutor(jobs=1, telemetry=EventBus())
+        serial.run(SMOKE_SCALE, DESIGNS)
+        pooled = SweepExecutor(jobs=4, telemetry=EventBus())
+        pooled.run(SMOKE_SCALE, DESIGNS)
+        assert set(serial.events) == set(pooled.events)
+        for cell, stream in serial.events.items():
+            assert [e.to_dict() for e in pooled.events[cell]] == [
+                e.to_dict() for e in stream
+            ]
+
+    def test_events_replay_onto_the_parent_bus(self):
+        from repro.telemetry import EventBus, EventLog
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        executor = SweepExecutor(jobs=1, telemetry=bus)
+        executor.run(SMOKE_SCALE, ("PoM",))
+        assert log.total == sum(
+            len(stream) for stream in executor.events.values()
+        )
+
+    def test_cached_cells_stay_event_free_and_identical(self, tmp_path):
+        from repro.telemetry import EventBus
+
+        cold = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        first = cold.run(SMOKE_SCALE, ("PoM",))
+        warm = SweepExecutor(
+            jobs=1, cache=ResultCache(tmp_path), telemetry=EventBus()
+        )
+        second = warm.run(SMOKE_SCALE, ("PoM",))
+        # Warm-cache replay is bit-identical to the traced-off run and
+        # produces no events (cells were never re-simulated).
+        assert warm.metrics.simulated == 0
+        assert warm.events == {}
+        for cell in first:
+            assert second[cell].to_dict() == first[cell].to_dict()
+
+    def test_audit_runs_inside_workers(self):
+        # Pooled path: the auditor attaches inside each worker process;
+        # a clean sweep over real designs must not raise.
+        from repro.telemetry import EventBus
+
+        executor = SweepExecutor(jobs=4, telemetry=EventBus(), audit=True)
+        results = executor.run(SMOKE_SCALE, ("Chameleon",))
+        assert len(results) == len(SMOKE_SCALE.benchmarks)
+
+
 class TestCacheIntegration:
     def test_warm_cache_serves_without_simulating(self, tmp_path):
         cold = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
