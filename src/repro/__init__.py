@@ -52,7 +52,14 @@ from repro.core import (
     ChameleonOptArchitecture,
     ChameleonSharedPool,
 )
-from repro.sim import AutoNumaMemory, FirstTouchMemory, SimulationResult, simulate
+from repro.sim import (
+    KERNELS,
+    AutoNumaMemory,
+    FirstTouchMemory,
+    SimulationResult,
+    select_kernel,
+    simulate,
+)
 from repro.workloads import (
     TABLE2_BENCHMARKS,
     BenchmarkSpec,
@@ -67,7 +74,7 @@ from repro.dram import system_energy
 from repro.osmodel import BufferCache, MemoryBoundScheduler
 from repro.trace.stats import characterize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GB",
@@ -92,9 +99,11 @@ __all__ = [
     "ChameleonArchitecture",
     "ChameleonOptArchitecture",
     "ChameleonSharedPool",
+    "KERNELS",
     "AutoNumaMemory",
     "FirstTouchMemory",
     "SimulationResult",
+    "select_kernel",
     "simulate",
     "TABLE2_BENCHMARKS",
     "BenchmarkSpec",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.config import CACHELINE_BYTES, SystemConfig
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.stats import CounterSet
 
 
@@ -44,9 +44,9 @@ class AlloyCache(MemoryArchitecture):
         line = address // CACHELINE_BYTES
         return line % self._num_sets, line // self._num_sets
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         if not 0 <= address < self.config.slow_mem.capacity_bytes:
             raise ValueError(
                 f"address {address:#x} outside OS-visible (off-chip) memory"
@@ -61,9 +61,7 @@ class AlloyCache(MemoryArchitecture):
             if is_write:
                 entry.dirty = True
             self.counters.add("alloy.hits")
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         # Miss: probe the TAD, then fetch from off-chip memory.  The
         # probe and the off-chip fetch are launched together (Alloy's
@@ -86,10 +84,7 @@ class AlloyCache(MemoryArchitecture):
         self.memory.fast.access(cache_address, now_ns, True)
         self._tads[set_index] = _TadEntry(tag=tag, dirty=is_write)
         self.counters.add("alloy.fills")
-
-        result = AccessResult(latency_ns=latency, fast_hit=False)
-        self.record_access_outcome(result)
-        return result
+        return latency, False
 
     @property
     def os_visible_bytes(self) -> int:

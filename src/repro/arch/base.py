@@ -31,6 +31,13 @@ class MemoryArchitecture(abc.ABC):
 
     name: str = "abstract"
 
+    #: Whether the batched replay kernel may drive this design through
+    #: :meth:`access_timing` with deferred stat aggregation.  True for
+    #: every in-tree design — the kernel preserves exact access order —
+    #: but exotic subclasses that read ``arch.*``/device counters from
+    #: inside the demand path can opt out.
+    supports_batch_kernel: bool = True
+
     def __init__(
         self,
         config: SystemConfig,
@@ -59,10 +66,70 @@ class MemoryArchitecture(abc.ABC):
     # ------------------------------------------------------------------
 
     @abc.abstractmethod
+    def access_timing(
+        self, address: int, now_ns: float, is_write: bool = False
+    ) -> tuple[float, bool]:
+        """Service one 64B access at OS physical ``address``.
+
+        Returns ``(latency_ns, fast_hit)``.  This is the allocation-free
+        demand path: subclasses perform the translation, device access,
+        and policy bookkeeping here and return a plain tuple; outcome
+        accounting (``arch.*`` counters, latency histogram) is layered
+        on by :meth:`access` per access or by
+        :meth:`record_access_batch` in bulk.
+        """
+
     def access(
         self, address: int, now_ns: float, is_write: bool = False
     ) -> AccessResult:
-        """Service one 64B access at OS physical ``address``."""
+        """Service one 64B access and record its outcome.
+
+        Thin wrapper over :meth:`access_timing` kept as the public
+        scalar entry point (tests and tools poke architectures one
+        access at a time); the batched kernel skips the per-access
+        :class:`AccessResult` allocation by using ``access_timing``
+        directly.
+        """
+        latency_ns, fast_hit = self.access_timing(address, now_ns, is_write)
+        result = AccessResult(latency_ns=latency_ns, fast_hit=fast_hit)
+        self.record_access_outcome(result)
+        return result
+
+    def access_batch(
+        self,
+        addresses,
+        now_ns_seq,
+        is_writes,
+    ) -> tuple[list, int]:
+        """Service a pre-scheduled, time-ordered run of accesses.
+
+        Bulk (open-loop) entry point: ``addresses``/``now_ns_seq``/
+        ``is_writes`` are parallel sequences replayed in order through
+        :meth:`access_timing` with device counters deferred, then all
+        outcome stats are recorded in one shot.  Returns the latency
+        list and the fast-hit count.  Results are bit-identical to the
+        equivalent :meth:`access` loop.  (The closed-loop simulation
+        engine cannot pre-schedule issue times — each one feeds back
+        through the core clocks — so it drives ``access_timing``
+        directly and batches only the accounting.)
+        """
+        timing = self.access_timing
+        latencies: list = []
+        append = latencies.append
+        fast_hits = 0
+        self.begin_batch_stats()
+        try:
+            for address, now_ns, is_write in zip(
+                addresses, now_ns_seq, is_writes
+            ):
+                latency_ns, fast_hit = timing(address, now_ns, is_write)
+                append(latency_ns)
+                if fast_hit:
+                    fast_hits += 1
+        finally:
+            self.end_batch_stats()
+        self.record_access_batch(latencies, fast_hits)
+        return latencies, fast_hits
 
     # ------------------------------------------------------------------
     # OS co-design hooks (default: architecture is OS-agnostic)
@@ -94,6 +161,51 @@ class MemoryArchitecture(abc.ABC):
         self.latency_histogram.record(result.latency_ns)
         if result.fast_hit:
             self.counters.add("arch.fast_hits")
+
+    def record_access_batch(self, latencies, fast_hits: int) -> None:
+        """Bulk form of :meth:`record_access_outcome`.
+
+        ``latencies`` must hold every serviced access's latency in
+        issue order; ``fast_hits`` how many of them hit the stacked
+        DRAM.  Count increments collapse to one addition (exact for
+        integers), the latency sum and histogram fold sequentially —
+        so the final stats are bit-identical to per-access recording.
+        """
+        n = len(latencies)
+        if not n:
+            return
+        self.counters.add("arch.accesses", n)
+        self.counters.add_many("arch.latency_ns", latencies)
+        self.latency_histogram.observe_array(latencies)
+        if fast_hits:
+            self.counters.add("arch.fast_hits", fast_hits)
+
+    # ------------------------------------------------------------------
+    # Bulk-stats plumbing for the batched kernel
+    # ------------------------------------------------------------------
+
+    def _batch_devices(self) -> tuple:
+        """The DRAM devices whose demand-path counters may be deferred
+        while a batched run is in flight."""
+        return (self.memory.fast, self.memory.slow)
+
+    def begin_batch_stats(self) -> None:
+        """Enter bulk-stats mode: device demand counters are tallied
+        locally until flushed (transfers flush automatically to keep
+        the shared ``busy_ns`` accumulation order)."""
+        for device in self._batch_devices():
+            device.begin_deferred_stats()
+
+    def flush_batch_stats(self) -> None:
+        """Publish pending device tallies (e.g. before a counter read
+        or reset)."""
+        for device in self._batch_devices():
+            device.flush_deferred_stats()
+
+    def end_batch_stats(self) -> None:
+        """Flush pending device tallies and leave bulk-stats mode."""
+        for device in self._batch_devices():
+            device.end_deferred_stats()
 
     @property
     def fast_hit_rate(self) -> float:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.config import GB, SystemConfig, offchip_dram
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.dram.device import DramDevice
 from repro.stats import CounterSet
 
@@ -40,15 +40,17 @@ class FlatMemory(MemoryArchitecture):
             self.counters,
         )
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         if not 0 <= address < self._capacity:
             raise ValueError(f"address {address:#x} outside flat memory")
-        latency = self._device.access(address, now_ns, is_write)
-        result = AccessResult(latency_ns=latency, fast_hit=False)
-        self.record_access_outcome(result)
-        return result
+        return self._device.access(address, now_ns, is_write), False
+
+    def _batch_devices(self) -> tuple:
+        # The flat baseline bypasses the heterogeneous pair and owns a
+        # single device.
+        return (self._device,)
 
     @property
     def os_visible_bytes(self) -> int:

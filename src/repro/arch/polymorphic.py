@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.config import SystemConfig
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.arch.remap import GroupState, Mode, SegmentGeometry
 from repro.stats import CounterSet
 
@@ -69,9 +69,9 @@ class PolymorphicMemory(MemoryArchitecture):
     # Demand path
     # ------------------------------------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         segment = self.geometry.segment_of(address)
         group, local = self.geometry.group_and_local(segment)
         offset = address % self.geometry.segment_bytes
@@ -85,9 +85,7 @@ class PolymorphicMemory(MemoryArchitecture):
             latency = self.memory.access(
                 in_fast, device_address, now_ns, is_write, segment_id=segment
             )
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         if state.mode is Mode.CACHE and state.cached == local:
             _, cache_address = self.geometry.slot_device_address(
@@ -99,9 +97,7 @@ class PolymorphicMemory(MemoryArchitecture):
             if is_write:
                 state.dirty = True
             self.counters.add("polymorphic.cache_hits")
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         # Off-chip access at the segment's home location.
         in_fast, device_address = self.geometry.slot_device_address(
@@ -112,9 +108,7 @@ class PolymorphicMemory(MemoryArchitecture):
         )
         if state.mode is Mode.CACHE:
             self._fill(group, state, local, now_ns)
-        result = AccessResult(latency_ns=latency, fast_hit=False)
-        self.record_access_outcome(result)
-        return result
+        return latency, False
 
     # ------------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.config import SystemConfig
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.arch.remap import GroupState, Mode, SegmentGeometry
 from repro.stats import CounterSet
 from repro.telemetry.events import SegmentSwap
@@ -51,6 +51,11 @@ class PoMArchitecture(MemoryArchitecture):
         self.swap_cooldown = swap_cooldown
         self.geometry = SegmentGeometry.from_config(config)
         self._groups: Dict[int, GroupState] = {}
+        # Hot-path constants mirroring the geometry (attribute chains
+        # through the frozen dataclass dominated the demand path).
+        self._segment_bytes = self.geometry.segment_bytes
+        self._num_fast = self.geometry.num_fast_segments
+        self._total_segments = self.geometry.total_segments
 
     # ------------------------------------------------------------------
 
@@ -68,26 +73,95 @@ class PoMArchitecture(MemoryArchitecture):
     ) -> tuple[bool, int]:
         return self.geometry.slot_device_address(group, slot, offset)
 
+    def _translate(self, address: int) -> tuple[int, int, int, int]:
+        """(segment, group, local, offset) of an OS address.
+
+        Inlined form of ``geometry.segment_of`` + ``group_and_local`` +
+        the offset modulo — one integer ``divmod`` and pure arithmetic,
+        bit-identical to the :class:`SegmentGeometry` methods.
+        """
+        segment, offset = divmod(address, self._segment_bytes)
+        if not 0 <= segment < self._total_segments:
+            raise ValueError(f"address {address:#x} outside OS memory")
+        num_fast = self._num_fast
+        if segment < num_fast:
+            return segment, segment, 0, offset
+        rel = segment - num_fast
+        return segment, rel % num_fast, 1 + rel // num_fast, offset
+
     # ------------------------------------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
-        segment = self.geometry.segment_of(address)
-        group, local = self.geometry.group_and_local(segment)
-        offset = address % self.geometry.segment_bytes
-        state = self.group_state(group)
-
+    ) -> tuple[float, bool]:
+        # Monolithic demand path: ``_translate`` + ``_pom_timing``
+        # inlined (same arithmetic, same order).  The helpers remain
+        # the reference form and serve the Chameleon-family subclasses,
+        # which translate once and then dispatch by group mode.
+        segment_bytes = self._segment_bytes
+        segment, offset = divmod(address, segment_bytes)
+        if not 0 <= segment < self._total_segments:
+            raise ValueError(f"address {address:#x} outside OS memory")
+        num_fast = self._num_fast
+        if segment < num_fast:
+            group = segment
+            local = 0
+        else:
+            rel = segment - num_fast
+            group = rel % num_fast
+            local = 1 + rel // num_fast
+        state = self._groups.get(group)
+        if state is None:
+            state = self.group_state(group)
         slot = state.slot_of[local]
-        in_fast, device_address = self._device_location(group, slot, offset)
+        if slot == 0:
+            latency = self.memory.access(
+                True,
+                group * segment_bytes + offset,
+                now_ns,
+                is_write,
+                segment_id=segment,
+            )
+            return latency, True
+        latency = self.memory.access(
+            False,
+            ((slot - 1) * num_fast + group) * segment_bytes + offset,
+            now_ns,
+            is_write,
+            segment_id=segment,
+        )
+        self._update_counter(group, state, local, now_ns)
+        return latency, False
+
+    def _pom_timing(
+        self,
+        segment: int,
+        group: int,
+        local: int,
+        offset: int,
+        state: GroupState,
+        now_ns: float,
+        is_write: bool,
+    ) -> tuple[float, bool]:
+        """PoM-mode demand service once the translation is in hand
+        (shared with :class:`~repro.core.ChameleonArchitecture`'s
+        dispatch, which translates exactly once per access)."""
+        slot = state.slot_of[local]
+        # Inlined ``slot_device_address`` (slot 0 is the stacked slot).
+        if slot == 0:
+            in_fast = True
+            device_address = group * self._segment_bytes + offset
+        else:
+            in_fast = False
+            device_address = (
+                (slot - 1) * self._num_fast + group
+            ) * self._segment_bytes + offset
         latency = self.memory.access(
             in_fast, device_address, now_ns, is_write, segment_id=segment
         )
         if not in_fast:
             self._update_counter(group, state, local, now_ns)
-        result = AccessResult(latency_ns=latency, fast_hit=in_fast)
-        self.record_access_outcome(result)
-        return result
+        return latency, in_fast
 
     def _update_counter(
         self, group: int, state: GroupState, local: int, now_ns: float

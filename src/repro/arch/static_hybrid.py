@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.config import CACHELINE_BYTES, SystemConfig
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.stats import CounterSet
 
 
@@ -60,9 +60,9 @@ class StaticHybridMemory(MemoryArchitecture):
 
     # ------------------------------------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         if not 0 <= address < self.os_visible_bytes:
             raise ValueError(
                 f"address {address:#x} outside OS-visible memory"
@@ -71,16 +71,12 @@ class StaticHybridMemory(MemoryArchitecture):
             # Static fast partition: always a stacked hit, never cached.
             device_address = self._cache_bytes + address
             latency = self.memory.fast.access(device_address, now_ns, is_write)
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         slow_address = address - self._flat_fast_bytes
         if self._num_sets == 0:
             latency = self.memory.slow.access(slow_address, now_ns, is_write)
-            result = AccessResult(latency_ns=latency, fast_hit=False)
-            self.record_access_outcome(result)
-            return result
+            return latency, False
 
         line = address // CACHELINE_BYTES
         set_index = line % self._num_sets
@@ -93,9 +89,7 @@ class StaticHybridMemory(MemoryArchitecture):
             if is_write:
                 entry.dirty = True
             self.counters.add("knl.cache_hits")
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         probe_ns = self.memory.fast.access(cache_address, now_ns, False)
         mem_ns = self.memory.slow.access(slow_address, now_ns, is_write)
@@ -111,9 +105,7 @@ class StaticHybridMemory(MemoryArchitecture):
             self.counters.add("knl.writebacks")
         self.memory.fast.access(cache_address, now_ns, True)
         self._tads[set_index] = _TadEntry(tag=tag, dirty=is_write)
-        result = AccessResult(latency_ns=latency, fast_hit=False)
-        self.record_access_outcome(result)
-        return result
+        return latency, False
 
     # ------------------------------------------------------------------
 

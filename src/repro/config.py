@@ -46,6 +46,30 @@ class CoreConfig:
     #: misses whose latencies overlap.  Used by the analytic timing model.
     mlp: float = 4.0
 
+    # The ns <-> cycle conversions below are the *only* forms used
+    # throughout the simulator (engine, timing model, reporting).  They
+    # deliberately keep the historical operand order — ``x / f * 1e9``
+    # and ``ns * 1e-9 * f`` — so the refactor that centralised them
+    # changed no result bit.
+
+    @property
+    def ns_per_instruction(self) -> float:
+        """Wall time of one instruction at base CPI, in ns."""
+        return self.base_cpi / self.frequency_hz * 1e9
+
+    @property
+    def ns_per_cycle(self) -> float:
+        """Duration of one core clock cycle in ns."""
+        return 1 / self.frequency_hz * 1e9
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Core clock cycles -> nanoseconds."""
+        return cycles / self.frequency_hz * 1e9
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Nanoseconds -> core clock cycles."""
+        return ns * 1e-9 * self.frequency_hz
+
 
 @dataclass(frozen=True)
 class CacheLevelConfig:
@@ -189,6 +213,16 @@ class SystemConfig:
                 "memory capacity (segment-restricted remapping requires a "
                 "whole number of slow segments per group)"
             )
+
+    @property
+    def ns_per_instruction(self) -> float:
+        """Shorthand for :attr:`CoreConfig.ns_per_instruction`."""
+        return self.core.ns_per_instruction
+
+    @property
+    def ns_per_cycle(self) -> float:
+        """Shorthand for :attr:`CoreConfig.ns_per_cycle`."""
+        return self.core.ns_per_cycle
 
     @property
     def capacity_ratio(self) -> int:

@@ -19,7 +19,6 @@ counters exactly like a PoM swap.
 from __future__ import annotations
 
 from repro.config import SystemConfig
-from repro.arch.base import AccessResult
 from repro.arch.pom import DEFAULT_SWAP_THRESHOLD, PoMArchitecture
 from repro.arch.remap import GroupState, Mode
 from repro.stats import CounterSet
@@ -146,16 +145,19 @@ class ChameleonArchitecture(PoMArchitecture):
     # Demand path
     # ------------------------------------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
-        segment = self.geometry.segment_of(address)
-        group, local = self.geometry.group_and_local(segment)
-        state = self.group_state(group)
+    ) -> tuple[float, bool]:
+        segment, group, local, offset = self._translate(address)
+        state = self._groups.get(group)
+        if state is None:
+            state = self.group_state(group)
         if state.mode is Mode.POM:
-            return super().access(address, now_ns, is_write)
+            return self._pom_timing(
+                segment, group, local, offset, state, now_ns, is_write
+            )
         return self._cache_mode_access(
-            group, state, segment, local, address, now_ns, is_write
+            group, state, segment, local, offset, now_ns, is_write
         )
 
     def _cache_mode_access(
@@ -164,12 +166,10 @@ class ChameleonArchitecture(PoMArchitecture):
         state: GroupState,
         segment: int,
         local: int,
-        address: int,
+        offset: int,
         now_ns: float,
         is_write: bool,
-    ) -> AccessResult:
-        offset = address % self.geometry.segment_bytes
-
+    ) -> tuple[float, bool]:
         if local == state.resident_of_fast() or local == state.cached:
             # Either the (free) stacked resident itself — tolerated for
             # robustness — or a cache hit on the cached segment.
@@ -184,9 +184,7 @@ class ChameleonArchitecture(PoMArchitecture):
                     state.dirty = True
                 state.miss_streak = 0
                 self.counters.add("chameleon.cache_hits")
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
         # Miss: access the segment at its current (off-chip) slot, then
         # fill it into the stacked slot — no competing-counter threshold
@@ -207,9 +205,7 @@ class ChameleonArchitecture(PoMArchitecture):
         else:
             state.miss_streak += 1
             self.counters.add("chameleon.fills_skipped")
-        result = AccessResult(latency_ns=latency, fast_hit=in_fast)
-        self.record_access_outcome(result)
-        return result
+        return latency, in_fast
 
     def _should_fill(self, state: GroupState) -> bool:
         if state.cached is None or self.fill_policy == "always":

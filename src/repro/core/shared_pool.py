@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.arch.base import AccessResult
 from repro.arch.remap import GroupState, Mode
 from repro.core.chameleon_opt import ChameleonOptArchitecture
 
@@ -121,19 +120,21 @@ class ChameleonSharedPool(ChameleonOptArchitecture):
     # Demand path: overlay borrowed-slot hits over the PoM path
     # ------------------------------------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
-        segment = self.geometry.segment_of(address)
-        group, local = self.geometry.group_and_local(segment)
-        state = self.group_state(group)
+    ) -> tuple[float, bool]:
+        segment, group, local, offset = self._translate(address)
+        state = self._groups.get(group)
+        if state is None:
+            state = self.group_state(group)
         if state.mode is not Mode.POM:
-            return super().access(address, now_ns, is_write)
+            return self._cache_mode_access(
+                group, state, segment, local, offset, now_ns, is_write
+            )
 
         self._revoke_if_invalid(group, now_ns)
         borrow = self._borrows.get(group)
         if borrow is not None and borrow.cached_local == local:
-            offset = address % self.geometry.segment_bytes
             _, cache_address = self.geometry.slot_device_address(
                 borrow.donor_group, 0, offset
             )
@@ -143,14 +144,14 @@ class ChameleonSharedPool(ChameleonOptArchitecture):
             if is_write:
                 borrow.dirty = True
             self.counters.add("shared_pool.borrow_hits")
-            result = AccessResult(latency_ns=latency, fast_hit=True)
-            self.record_access_outcome(result)
-            return result
+            return latency, True
 
-        result = super().access(address, now_ns, is_write)
-        if not result.fast_hit:
+        latency, fast_hit = self._pom_timing(
+            segment, group, local, offset, state, now_ns, is_write
+        )
+        if not fast_hit:
             self._maybe_borrow_fill(group, state, local, now_ns)
-        return result
+        return latency, fast_hit
 
     # ------------------------------------------------------------------
 

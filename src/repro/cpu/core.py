@@ -47,8 +47,9 @@ class CoreTimingModel:
     def cycles(self, stats: CoreRunStats) -> float:
         base = stats.instructions * self.config.base_cpi
         stall_cycles = (
-            stats.memory_latency_ns * 1e-9 * self.config.frequency_hz
-        ) / self.config.mlp
+            self.config.ns_to_cycles(stats.memory_latency_ns)
+            / self.config.mlp
+        )
         return base + stall_cycles + stats.fault_cycles
 
     def ipc(self, stats: CoreRunStats) -> float:

@@ -97,6 +97,4 @@ class MulticoreModel:
 
     def average_latency_cycles(self, perf: WorkloadPerformance) -> float:
         """Average memory access latency in CPU cycles (Figure 19)."""
-        return (
-            perf.average_latency_ns * 1e-9 * self.config.core.frequency_hz
-        )
+        return self.config.core.ns_to_cycles(perf.average_latency_ns)

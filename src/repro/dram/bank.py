@@ -30,6 +30,17 @@ class Bank:
     open_row: int | None = None
     ready_ns: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Hot-path constants: the three access classes and the tRAS
+        # hold, converted to ns once (same expression as
+        # ``_cycles_to_ns``, so the precomputation changes no bit).
+        self._hit_ns = self._cycles_to_ns(self.timing.row_hit_cycles)
+        self._miss_ns = self._cycles_to_ns(self.timing.row_miss_cycles)
+        self._conflict_ns = self._cycles_to_ns(
+            self.timing.row_conflict_cycles
+        )
+        self._tras_ns = self._cycles_to_ns(self.timing.tRAS)
+
     def _cycles_to_ns(self, cycles: int) -> float:
         return cycles / self.clock_hz * 1e9
 
@@ -46,15 +57,17 @@ class Bank:
         Returns ``(data_ready_ns, result)``.  The command waits for the
         bank to become ready, then pays CAS / ACT+CAS / PRE+ACT+CAS.
         """
-        result = self.classify(row)
-        start_ns = max(now_ns, self.ready_ns)
-        if result is RowBufferResult.HIT:
-            cycles = self.timing.row_hit_cycles
-        elif result is RowBufferResult.MISS:
-            cycles = self.timing.row_miss_cycles
+        start_ns = now_ns if now_ns > self.ready_ns else self.ready_ns
+        if self.open_row is None:
+            result = RowBufferResult.MISS
+            latency_ns = self._miss_ns
+        elif self.open_row == row:
+            result = RowBufferResult.HIT
+            latency_ns = self._hit_ns
         else:
-            cycles = self.timing.row_conflict_cycles
-        data_ready_ns = start_ns + self._cycles_to_ns(cycles)
+            result = RowBufferResult.CONFLICT
+            latency_ns = self._conflict_ns
+        data_ready_ns = start_ns + latency_ns
         self.open_row = row
         # The bank can accept the next column command once the data is out;
         # tRAS constrains back-to-back row cycles, approximated by holding
@@ -62,7 +75,7 @@ class Bank:
         if result is RowBufferResult.HIT:
             self.ready_ns = data_ready_ns
         else:
-            self.ready_ns = start_ns + self._cycles_to_ns(self.timing.tRAS)
+            self.ready_ns = start_ns + self._tras_ns
         return data_ready_ns, result
 
     def precharge(self) -> None:

@@ -65,7 +65,9 @@ class HeterogeneousMemory:
         """
         if segment_id is not None:
             buffer = self._buffers.get(segment_id)
-            if buffer is not None and buffer.in_flight(now_ns):
+            # Inlined ``buffer.in_flight(now_ns)`` — one attribute
+            # compare instead of a method call on the demand path.
+            if buffer is not None and now_ns < buffer.completes_ns:
                 buffer.touches += 1
                 if is_write:
                     buffer.dirty = True

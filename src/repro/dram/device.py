@@ -16,7 +16,7 @@ approximation for refresh-induced unavailability.
 from __future__ import annotations
 
 from repro.config import DramConfig, CACHELINE_BYTES
-from repro.dram.bank import Bank
+from repro.dram.bank import Bank, RowBufferResult
 from repro.stats import CounterSet
 
 
@@ -34,6 +34,45 @@ class DramDevice:
         self._channel_free_ns = [0.0] * config.channels
         timing = config.timing
         self._refresh_factor = 1.0 + timing.tRFC_ns / timing.tREFI_ns
+        # Hot-path constants: counter names (formatting them per access
+        # dominated the demand path) and the fixed 64B burst time.
+        self._burst_ns = config.burst_time_ns(CACHELINE_BYTES)
+        scope = self._scope
+        self._name_accesses = f"{scope}.accesses"
+        self._name_bytes = f"{scope}.bytes"
+        self._name_reads = f"{scope}.reads"
+        self._name_writes = f"{scope}.writes"
+        self._name_busy = f"{scope}.busy_ns"
+        # Row-class counter names, plus the members themselves for
+        # identity tests — both enum ``.value`` reads and enum-keyed
+        # dict lookups run Python-level descriptors/hashes and showed
+        # up in profiles, so the demand path branches on ``is``.
+        self._name_row_hit = f"{scope}.row_hit"
+        self._name_row_miss = f"{scope}.row_miss"
+        self._name_row_conflict = f"{scope}.row_conflict"
+        self._name_row = {
+            result: f"{scope}.row_{result.value}" for result in RowBufferResult
+        }
+        # Inlined address-mapping constants (see ``map_address``).
+        self._capacity = config.capacity_bytes
+        self._channels = config.channels
+        self._row_bytes = config.row_bytes
+        self._banks_per_channel = (
+            config.ranks_per_channel * config.banks_per_rank
+        )
+        # Deferred demand-access accounting (the batched kernel's bulk
+        # stats mode): instead of five counter updates per access, the
+        # device tallies plain ints and flushes them in bulk.  All
+        # deferred quantities are integral except bus occupancy, which
+        # is ``n`` repeats of the constant per-burst time — both flush
+        # bit-identically (see ``flush_deferred_stats``).
+        self._deferred = False
+        self._pending_accesses = 0
+        self._pending_reads = 0
+        self._pending_writes = 0
+        self._pending_row_hit = 0
+        self._pending_row_miss = 0
+        self._pending_row_conflict = 0
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -69,24 +108,77 @@ class DramDevice:
         self, address: int, now_ns: float, is_write: bool = False
     ) -> float:
         """Service one 64B access; returns its latency in ns."""
-        channel, bank_index, row = self.map_address(address)
-        bank = self._banks[bank_index]
-        data_ready_ns, result = bank.access(row, now_ns)
+        # Inlined ``map_address`` (same arithmetic, same error) — the
+        # demand path is hot enough that the extra call and the config
+        # attribute chains were measurable.
+        if address < 0 or address >= self._capacity:
+            raise ValueError(
+                f"address {address:#x} outside {self.config.name} device "
+                f"(capacity {self._capacity:#x})"
+            )
+        row_global = address // self._row_bytes
+        banks_per_channel = self._banks_per_channel
+        channel = (address // CACHELINE_BYTES) % self._channels
+        bank = self._banks[
+            channel * banks_per_channel + row_global % banks_per_channel
+        ]
+        row = row_global // banks_per_channel
+        # Fused :meth:`Bank.access` (the reference form lives there;
+        # same classification, same timing, same state updates) with
+        # the row class kept as a small int — the per-access enum costs
+        # (``.value`` descriptors, Python-level ``__hash__``) were
+        # measurable.
+        ready = bank.ready_ns
+        start_ns = now_ns if now_ns > ready else ready
+        open_row = bank.open_row
+        if open_row == row:  # None == int is False, so HIT implies open
+            data_ready_ns = start_ns + bank._hit_ns
+            bank.ready_ns = data_ready_ns
+            row_kind = 0
+        elif open_row is None:
+            data_ready_ns = start_ns + bank._miss_ns
+            bank.ready_ns = start_ns + bank._tras_ns
+            row_kind = 1
+        else:
+            data_ready_ns = start_ns + bank._conflict_ns
+            bank.ready_ns = start_ns + bank._tras_ns
+            row_kind = 2
+        bank.open_row = row
         # The data bus is only occupied for the burst itself; bank
         # preparation (ACT/PRE) overlaps with other banks' bursts.
-        burst_ns = self.config.burst_time_ns(CACHELINE_BYTES)
-        burst_start_ns = max(data_ready_ns, self._channel_free_ns[channel])
+        burst_ns = self._burst_ns
+        channel_free = self._channel_free_ns[channel]
+        burst_start_ns = (
+            data_ready_ns if data_ready_ns > channel_free else channel_free
+        )
         finish_ns = burst_start_ns + burst_ns
         self._channel_free_ns[channel] = finish_ns
         latency_ns = (finish_ns - now_ns) * self._refresh_factor
 
-        self.counters.add(f"{self._scope}.accesses")
-        self.counters.add(f"{self._scope}.bytes", CACHELINE_BYTES)
-        self.counters.add(
-            f"{self._scope}.writes" if is_write else f"{self._scope}.reads"
-        )
-        self.counters.add(f"{self._scope}.row_{result.value}")
-        self.counters.add(f"{self._scope}.busy_ns", burst_ns)
+        if self._deferred:
+            self._pending_accesses += 1
+            if is_write:
+                self._pending_writes += 1
+            else:
+                self._pending_reads += 1
+            if row_kind == 0:
+                self._pending_row_hit += 1
+            elif row_kind == 1:
+                self._pending_row_miss += 1
+            else:
+                self._pending_row_conflict += 1
+            return latency_ns
+        counters = self.counters
+        counters.add(self._name_accesses)
+        counters.add(self._name_bytes, CACHELINE_BYTES)
+        counters.add(self._name_writes if is_write else self._name_reads)
+        if row_kind == 0:
+            counters.add(self._name_row_hit)
+        elif row_kind == 1:
+            counters.add(self._name_row_miss)
+        else:
+            counters.add(self._name_row_conflict)
+        counters.add(self._name_busy, burst_ns)
         return latency_ns
 
     # ------------------------------------------------------------------
@@ -102,6 +194,11 @@ class DramDevice:
         """
         if num_bytes <= 0:
             raise ValueError("transfer size must be positive")
+        if self._deferred:
+            # Transfers share the ``busy_ns`` counter with deferred
+            # demand accesses; flush the pending tallies first so the
+            # float accumulation order matches the undeferred path.
+            self.flush_deferred_stats()
         _, bank_index, row = self.map_address(address)
         bank = self._banks[bank_index]
         # Opening cost: the first access in the streamed region.
@@ -128,10 +225,60 @@ class DramDevice:
 
         self.counters.add(f"{self._scope}.transfers")
         self.counters.add(f"{self._scope}.transfer_bytes", num_bytes)
-        self.counters.add(f"{self._scope}.bytes", num_bytes)
-        self.counters.add(f"{self._scope}.row_{result.value}")
-        self.counters.add(f"{self._scope}.busy_ns", stream_ns * channels)
+        self.counters.add(self._name_bytes, num_bytes)
+        self.counters.add(self._name_row[result])
+        self.counters.add(self._name_busy, stream_ns * channels)
         return finish_ns
+
+    # ------------------------------------------------------------------
+    # Deferred demand-access accounting (bulk stats mode)
+    # ------------------------------------------------------------------
+
+    def begin_deferred_stats(self) -> None:
+        """Start tallying demand-access counters locally instead of
+        updating :attr:`counters` per access (see
+        :meth:`flush_deferred_stats` for the exactness argument)."""
+        self._deferred = True
+
+    def flush_deferred_stats(self) -> None:
+        """Publish the pending tallies to :attr:`counters`.
+
+        Integral tallies (access/read/write/row-class/byte counts) are
+        added in one shot — ``n`` repeated ``+1`` float additions equal
+        a single ``+n`` exactly for any count below 2**53.  Bus
+        occupancy is ``n`` repeats of the constant per-burst time,
+        flushed as ``n`` sequential additions (:meth:`CounterSet
+        .add_repeat`) because repeated float addition of a constant is
+        *not* equivalent to one multiply-add.
+        """
+        n = self._pending_accesses
+        if not n:
+            return
+        counters = self.counters
+        counters.add(self._name_accesses, n)
+        counters.add(self._name_bytes, n * CACHELINE_BYTES)
+        if self._pending_reads:
+            counters.add(self._name_reads, self._pending_reads)
+        if self._pending_writes:
+            counters.add(self._name_writes, self._pending_writes)
+        if self._pending_row_hit:
+            counters.add(self._name_row_hit, self._pending_row_hit)
+        if self._pending_row_miss:
+            counters.add(self._name_row_miss, self._pending_row_miss)
+        if self._pending_row_conflict:
+            counters.add(self._name_row_conflict, self._pending_row_conflict)
+        counters.add_repeat(self._name_busy, self._burst_ns, n)
+        self._pending_accesses = 0
+        self._pending_reads = 0
+        self._pending_writes = 0
+        self._pending_row_hit = 0
+        self._pending_row_miss = 0
+        self._pending_row_conflict = 0
+
+    def end_deferred_stats(self) -> None:
+        """Flush and return to per-access counter updates."""
+        self.flush_deferred_stats()
+        self._deferred = False
 
     # ------------------------------------------------------------------
     # Introspection

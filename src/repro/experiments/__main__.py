@@ -41,6 +41,12 @@ The cache itself is managed with the ``cache`` subcommand::
 
     python -m repro.experiments cache info
     python -m repro.experiments cache clear
+
+The replay-kernel benchmark (see docs/PERFORMANCE.md) writes its
+throughput/parity record to ``BENCH_kernel.json``::
+
+    python -m repro.experiments bench
+    python -m repro.experiments bench --out /tmp/BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -178,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment id (e.g. fig15), 'list', 'all', "
-            "or 'cache' (with 'info'/'clear')"
+            "'cache' (with 'info'/'clear'), or 'bench'"
         ),
     )
     parser.add_argument(
@@ -257,11 +263,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the live SRRT invariant auditor in every cell",
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="bench subcommand: output JSON path (default BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=positive_int,
+        default=3,
+        help="bench subcommand: timing repeats per kernel (best-of)",
+    )
     args = parser.parse_args(argv)
 
     cache_dir = args.cache_dir or default_cache_dir()
     if args.experiment == "cache":
         return _run_cache_command(args.action, ResultCache(cache_dir))
+
+    if args.experiment == "bench":
+        from repro.experiments.bench import DEFAULT_BENCH_OUT, run_bench_command
+
+        return run_bench_command(
+            out_path=args.out or DEFAULT_BENCH_OUT, repeats=args.repeats
+        )
 
     if args.experiment == "list":
         for name in EXPERIMENTS:

@@ -1,0 +1,193 @@
+"""Tracked perf-bench harness for the replay kernels.
+
+``python -m repro.experiments bench`` times both replay kernels on the
+figure-15 design set, verifies batched/scalar parity while doing so,
+times the figure-15/18 smoke sweeps end to end, and writes the whole
+record to ``BENCH_kernel.json`` so kernel throughput is tracked in CI
+alongside correctness.
+
+The numbers answer three questions:
+
+* how fast is each kernel (``accesses_per_sec`` per design, telemetry
+  off, best of ``repeats``);
+* is the batched kernel still exact (``parity`` per design — byte-equal
+  :meth:`~repro.sim.SimulationResult.to_dict` plus an identical
+  telemetry event stream against the scalar reference);
+* what does a user-visible sweep cost (``figures`` wall seconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from typing import Any, Dict
+
+from repro.experiments.designs import REGISTRY
+from repro.experiments.runner import SMOKE_SCALE, Scale, clear_sweep_cache
+from repro.sim import select_kernel, simulate
+from repro.telemetry.bus import EventBus
+from repro.telemetry.recorder import EventLog
+from repro.workloads import benchmark, build_workload
+
+#: Wire-format version of ``BENCH_kernel.json``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output path of the ``bench`` subcommand.
+DEFAULT_BENCH_OUT = "BENCH_kernel.json"
+
+#: Designs timed by the kernel benchmark: the figure-15 comparison set.
+#: Alloy-Cache is pager-backed and exercises the scalar fallback; the
+#: other three run the batched kernel under ``kernel="auto"``.
+BENCH_DESIGNS = ("Alloy-Cache", "PoM", "Chameleon", "Chameleon-Opt")
+
+#: Throughput-measurement scale: long enough that per-access cost
+#: dominates fixed setup, small enough for CI (24k accesses per run).
+BENCH_SCALE = Scale(
+    fast_mb=1.0,
+    accesses_per_core=3000,
+    warmup_per_core=3000,
+    num_copies=4,
+    benchmarks=("mcf",),
+)
+
+
+def _simulate_once(
+    label: str,
+    scale: Scale,
+    kernel: str,
+    telemetry: EventBus | None = None,
+):
+    config = scale.config()
+    architecture = REGISTRY.get(label).factory(config)
+    workload = build_workload(
+        config,
+        benchmark(scale.benchmarks[0]),
+        num_copies=scale.num_copies,
+        seed=scale.seed,
+    )
+    start = time.perf_counter()
+    result = simulate(
+        architecture,
+        workload,
+        accesses_per_core=scale.accesses_per_core,
+        warmup_per_core=scale.warmup_per_core,
+        telemetry=telemetry,
+        kernel=kernel,
+    )
+    return time.perf_counter() - start, result, architecture, workload
+
+
+def _throughput(label: str, scale: Scale, kernel: str, repeats: int) -> float:
+    """Best-of-``repeats`` accesses/sec (warmup + measured), telemetry off."""
+    total = (scale.accesses_per_core + scale.warmup_per_core) * scale.num_copies
+    best = float("inf")
+    for _ in range(repeats):
+        elapsed, _, _, _ = _simulate_once(label, scale, kernel)
+        best = min(best, elapsed)
+    return total / best
+
+
+def _parity_check(label: str, scale: Scale) -> tuple[bool, str]:
+    """(parity, auto-resolved kernel) for ``label`` at ``scale``.
+
+    Parity compares the full wire form *and* the telemetry event stream
+    of a forced-scalar run against ``kernel="auto"``.
+    """
+    def capture(kernel: str):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        _, result, _, _ = _simulate_once(label, scale, kernel, telemetry=bus)
+        return (
+            json.dumps(result.to_dict(), sort_keys=True),
+            [event.to_dict() for event in log.events],
+        )
+
+    scalar = capture("scalar")
+    auto = capture("auto")
+    _, _, architecture, workload = _simulate_once(label, scale, "scalar")
+    pager_present = (
+        architecture.os_visible_bytes < workload.config.total_capacity_bytes
+    )
+    resolved = select_kernel(architecture, workload, pager_present)
+    return scalar == auto, resolved
+
+
+def _figure_wall_seconds(scale: Scale) -> Dict[str, float]:
+    """End-to-end wall time of the fig15/fig18 smoke sweeps (no cache)."""
+    from repro.experiments.figures import run_fig15, run_fig18
+    from repro.runtime import SweepExecutor
+
+    seconds: Dict[str, float] = {}
+    for name, runner in (("fig15", run_fig15), ("fig18", run_fig18)):
+        clear_sweep_cache()
+        executor = SweepExecutor(jobs=1, cache=None)
+        start = time.perf_counter()
+        runner(scale, executor=executor)
+        seconds[name] = time.perf_counter() - start
+    clear_sweep_cache()
+    return seconds
+
+
+def run_kernel_bench(
+    scale: Scale = BENCH_SCALE,
+    figure_scale: Scale = SMOKE_SCALE,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Run the whole benchmark; returns the ``BENCH_kernel.json`` payload."""
+    designs: Dict[str, Any] = {}
+    for label in BENCH_DESIGNS:
+        parity, resolved = _parity_check(label, SMOKE_SCALE)
+        scalar_rate = _throughput(label, scale, "scalar", repeats)
+        auto_rate = _throughput(label, scale, "auto", repeats)
+        designs[label] = {
+            "kernel": resolved,
+            "parity": parity,
+            "scalar_accesses_per_sec": round(scalar_rate, 1),
+            "auto_accesses_per_sec": round(auto_rate, 1),
+            "speedup_vs_scalar": round(auto_rate / scalar_rate, 3),
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "scale": dataclasses.asdict(scale),
+        "repeats": repeats,
+        "designs": designs,
+        "figures": {
+            name: round(seconds, 3)
+            for name, seconds in _figure_wall_seconds(figure_scale).items()
+        },
+    }
+
+
+def run_bench_command(
+    out_path: str = DEFAULT_BENCH_OUT, repeats: int = 3
+) -> int:
+    """CLI entry point: print a summary, write the JSON, gate on parity."""
+    payload = run_kernel_bench(repeats=repeats)
+    print(f"kernel benchmark ({payload['repeats']} repeats, best-of)")
+    for label, row in payload["designs"].items():
+        print(
+            f"  {label:14s} kernel={row['kernel']:8s} "
+            f"scalar={row['scalar_accesses_per_sec']:>10,.0f}/s "
+            f"auto={row['auto_accesses_per_sec']:>10,.0f}/s "
+            f"({row['speedup_vs_scalar']:.2f}x) "
+            f"parity={'OK' if row['parity'] else 'FAIL'}"
+        )
+    for name, seconds in payload["figures"].items():
+        print(f"  {name} smoke sweep: {seconds:.2f}s")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    failures = [
+        label for label, row in payload["designs"].items() if not row["parity"]
+    ]
+    if failures:
+        print(
+            f"kernel parity FAILED for: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

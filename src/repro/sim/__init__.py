@@ -9,15 +9,19 @@ capacity, and rolling per-core stats into the paper's metrics
 """
 
 from repro.sim.engine import (
+    KERNELS,
     RESULT_SCHEMA_VERSION,
     SimulationResult,
+    select_kernel,
     simulate,
 )
 from repro.sim.os_designs import AutoNumaMemory, FirstTouchMemory
 
 __all__ = [
+    "KERNELS",
     "RESULT_SCHEMA_VERSION",
     "SimulationResult",
+    "select_kernel",
     "simulate",
     "AutoNumaMemory",
     "FirstTouchMemory",

@@ -6,12 +6,27 @@ measured window, with the 12 per-core access streams merged in global
 time order so the device models always see monotonic arrivals.  Designs
 whose OS-visible capacity is smaller than the address space get an
 LRU-paged resident set charging the Table I SSD fault latency.
+
+Two replay kernels produce bit-identical results:
+
+* the **scalar** kernel — the reference two-phase heap loop that drives
+  :meth:`MemoryArchitecture.access` one record at a time; always
+  correct, required whenever an OS pager intercepts the address stream;
+* the **batched** kernel — consumes the workload's vectorised
+  :class:`repro.trace.RecordBatch` chunks, runs a single-phase heap
+  over plain tuples, calls the allocation-free
+  :meth:`~MemoryArchitecture.access_timing` demand path, and defers all
+  counter/histogram accounting to bulk flushes at phase boundaries.
+
+``kernel="auto"`` (the default) picks the batched kernel whenever it is
+exact — see :func:`select_kernel` — so callers never trade accuracy for
+speed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.arch.base import MemoryArchitecture
 from repro.config import SystemConfig
@@ -34,6 +49,9 @@ RESULT_SCHEMA_VERSION = 1
 #: the measured window when a telemetry bus is attached.
 TELEMETRY_EPOCHS = 20
 
+#: Valid values of :func:`simulate`'s ``kernel`` argument.
+KERNELS = ("auto", "batched", "scalar")
+
 
 @dataclass
 class SimulationResult:
@@ -54,7 +72,7 @@ class SimulationResult:
         return self.performance.geomean_ipc
 
     def average_latency_cycles(self, config: SystemConfig) -> float:
-        return self.average_latency_ns * 1e-9 * config.core.frequency_hz
+        return config.core.ns_to_cycles(self.average_latency_ns)
 
     def to_dict(self) -> Dict[str, Any]:
         """Versioned, JSON-safe plain-dict form.
@@ -98,6 +116,38 @@ class SimulationResult:
         )
 
 
+def select_kernel(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    pager_present: bool,
+) -> str:
+    """Pick the replay kernel that is exact for this run.
+
+    The batched kernel is chosen only when every one of its
+    preconditions holds:
+
+    * **no pager** — page-fault translation rewrites addresses and
+      stalls cores mid-stream, which the batched issue loop does not
+      model; pager-backed designs (caches, under-provisioned flat
+      baselines) always replay through the scalar reference loop;
+    * the architecture opts in via
+      :attr:`~MemoryArchitecture.supports_batch_kernel`;
+    * the workload exposes ``stream_batches`` (vectorised record
+      chunks).
+
+    Otherwise the scalar kernel is returned.  The two kernels are held
+    bit-identical by the parity suite, so the choice is purely about
+    speed.
+    """
+    if pager_present:
+        return "scalar"
+    if not getattr(architecture, "supports_batch_kernel", False):
+        return "scalar"
+    if not hasattr(workload, "stream_batches"):
+        return "scalar"
+    return "batched"
+
+
 def simulate(
     architecture: MemoryArchitecture,
     workload: MultiprogramWorkload,
@@ -105,6 +155,7 @@ def simulate(
     apply_isa: bool = True,
     warmup_per_core: int | None = None,
     telemetry: EventBus | None = None,
+    kernel: str = "auto",
 ) -> SimulationResult:
     """Run ``workload`` on ``architecture`` and summarise.
 
@@ -118,16 +169,55 @@ def simulate(
     global time order.  When the footprint exceeds the design's
     OS-visible capacity, an LRU-paged resident set charges the Table I
     SSD fault latency and remaps faulted pages into the visible range.
+
+    ``kernel`` selects the replay loop: ``"auto"`` (default) uses the
+    fast batched kernel whenever :func:`select_kernel` deems it exact,
+    ``"scalar"`` forces the reference loop, and ``"batched"`` forces
+    the fast path (raising :class:`ValueError` when its preconditions
+    do not hold).  Results are bit-identical either way.
     """
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     config = workload.config
     if warmup_per_core is None:
         warmup_per_core = accesses_per_core // 2
     # Telemetry is observational: attaching a bus must not perturb the
     # simulation (a dedicated regression test holds results
-    # bit-identical with telemetry on and off).
+    # bit-identical with telemetry on and off).  The architecture's
+    # prior bus is restored on exit so one architecture instance can be
+    # reused across runs without leaking the caller's bus.
     emit = telemetry is not None and telemetry.enabled
+    prior_bus = architecture.telemetry
     if emit:
         architecture.telemetry = telemetry
+    try:
+        return _simulate(
+            architecture,
+            workload,
+            config,
+            accesses_per_core,
+            warmup_per_core,
+            apply_isa,
+            telemetry,
+            emit,
+            kernel,
+        )
+    finally:
+        if emit:
+            architecture.telemetry = prior_bus
+
+
+def _simulate(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    config: SystemConfig,
+    accesses_per_core: int,
+    warmup_per_core: int,
+    apply_isa: bool,
+    telemetry: EventBus | None,
+    emit: bool,
+    kernel: str,
+) -> SimulationResult:
     if apply_isa:
         workload.apply_allocations(architecture)
 
@@ -150,13 +240,25 @@ def simulate(
             segment * config.segment_bytes for segment in workload.segments
         )
 
+    if kernel == "auto":
+        kernel = select_kernel(architecture, workload, pager is not None)
+    elif kernel == "batched":
+        if pager is not None:
+            raise ValueError(
+                "batched kernel cannot replay pager-backed designs "
+                f"({architecture.name} needs OS paging); use kernel='auto'"
+            )
+        if not getattr(architecture, "supports_batch_kernel", False):
+            raise ValueError(
+                f"{architecture.name} opts out of the batched kernel"
+            )
+        if not hasattr(workload, "stream_batches"):
+            raise ValueError(
+                "workload does not provide stream_batches(); "
+                "the batched kernel needs vectorised record chunks"
+            )
+
     per_core = [CoreRunStats() for _ in range(workload.num_copies)]
-    ns_per_instruction = (
-        config.core.base_cpi / config.core.frequency_hz * 1e9
-    )
-    fault_ns = (
-        config.page_fault_latency_cycles / config.core.frequency_hz * 1e9
-    )
     # Closed-loop timing: each core carries its own clock, advanced by
     # the instruction gap, by page-fault stalls, and by the
     # MLP-overlapped share of each miss latency — so cores naturally
@@ -166,11 +268,6 @@ def simulate(
     # clocks), so the device models always see monotonic arrivals and a
     # core that stalls on faults or slow memory naturally falls behind.
     core_clock_ns = [0.0] * workload.num_copies
-    mlp = config.core.mlp
-
-    streams = [
-        iter(s) for s in workload.streams(warmup_per_core + accesses_per_core)
-    ]
 
     # Epoch sampling: every ``epoch_every`` measured device accesses the
     # engine snapshots its cumulative counters onto the bus.  The value
@@ -179,6 +276,73 @@ def simulate(
     epoch_every = (
         max(1, total_measured // TELEMETRY_EPOCHS) if emit else 0
     )
+
+    if kernel == "batched":
+        _run_batched(
+            architecture,
+            workload,
+            config,
+            accesses_per_core,
+            warmup_per_core,
+            per_core,
+            core_clock_ns,
+            telemetry,
+            epoch_every,
+        )
+    else:
+        _run_scalar(
+            architecture,
+            workload,
+            config,
+            accesses_per_core,
+            warmup_per_core,
+            per_core,
+            core_clock_ns,
+            pager,
+            telemetry,
+            epoch_every,
+        )
+
+    model = MulticoreModel(config)
+    performance = model.summarize(workload.name, per_core)
+    cache_fraction = None
+    mode_distribution = getattr(architecture, "mode_distribution", None)
+    if callable(mode_distribution):
+        cache_fraction = mode_distribution()[0]
+    return SimulationResult(
+        workload=workload.name,
+        architecture=architecture.name,
+        performance=performance,
+        fast_hit_rate=architecture.fast_hit_rate,
+        average_latency_ns=architecture.average_latency_ns,
+        swaps=architecture.swap_count,
+        page_faults=performance.page_faults,
+        counters=architecture.counters,
+        cache_mode_fraction=cache_fraction,
+    )
+
+
+def _run_scalar(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    config: SystemConfig,
+    accesses_per_core: int,
+    warmup_per_core: int,
+    per_core: List[CoreRunStats],
+    core_clock_ns: List[float],
+    pager: Optional[PageFaultEngine],
+    telemetry: EventBus | None,
+    epoch_every: int,
+) -> None:
+    """Reference replay loop: one record at a time, two-phase heap."""
+    ns_per_instruction = config.ns_per_instruction
+    fault_ns = config.core.cycles_to_ns(config.page_fault_latency_cycles)
+    mlp = config.core.mlp
+
+    streams = [
+        iter(s) for s in workload.streams(warmup_per_core + accesses_per_core)
+    ]
+
     epoch_state = {"issued": 0, "epoch": 0}
 
     def emit_epoch(now_ns: float) -> None:
@@ -191,7 +355,7 @@ def simulate(
                 accesses=counters["arch.accesses"],
                 fast_hits=counters["arch.fast_hits"],
                 swaps=counters["swap.swaps"],
-                faults=float(pager.page_faults) if pager is not None else 0.0,
+                faults=pager.page_faults if pager is not None else 0,
             )
         )
 
@@ -263,20 +427,216 @@ def simulate(
         # covers the full measured window.
         emit_epoch(max(core_clock_ns))
 
-    model = MulticoreModel(config)
-    performance = model.summarize(workload.name, per_core)
-    cache_fraction = None
-    mode_distribution = getattr(architecture, "mode_distribution", None)
-    if callable(mode_distribution):
-        cache_fraction = mode_distribution()[0]
-    return SimulationResult(
-        workload=workload.name,
-        architecture=architecture.name,
-        performance=performance,
-        fast_hit_rate=architecture.fast_hit_rate,
-        average_latency_ns=architecture.average_latency_ns,
-        swaps=architecture.swap_count,
-        page_faults=performance.page_faults,
-        counters=architecture.counters,
-        cache_mode_fraction=cache_fraction,
+
+def _run_batched(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    config: SystemConfig,
+    accesses_per_core: int,
+    warmup_per_core: int,
+    per_core: List[CoreRunStats],
+    core_clock_ns: List[float],
+    telemetry: EventBus | None,
+    epoch_every: int,
+) -> None:
+    """Chunked fast-path replay loop (pager-absent designs only).
+
+    Bit-identical to :func:`_run_scalar` by construction:
+
+    * **Issue order** — without a pager, preparing an access touches
+      only the core's own stream and clock, so the scalar two-phase
+      heap issues accesses in exactly sorted ``(prepared_time, core)``
+      order.  This loop keeps one heap entry per core — its next
+      prepared access — and pops the global minimum, reproducing that
+      order (ties break on the unique core index in both loops).
+    * **Clock arithmetic** — the same two float operations per access
+      in the same order: ``issue = clock + gap * ns_per_instruction``
+      then ``clock = issue + latency / mlp``.
+    * **Stream consumption** — each core's records are fetched in
+      per-core order; the per-core generators are independent, so the
+      interleaving of fetches across cores (which differs from the
+      scalar loop) cannot change any record.
+    * **Accounting** — latencies are collected in global issue order
+      and folded into the counters/histogram by the bulk accumulators,
+      whose per-key fold order matches per-access recording exactly
+      (see :meth:`MemoryArchitecture.record_access_batch` and
+      :meth:`repro.dram.DramDevice.flush_deferred_stats`).  Warmup
+      stats are flushed *before* ``counters.reset()`` so the measured
+      window starts from the same state as the scalar loop.
+    """
+    ns_per_instruction = config.ns_per_instruction
+    mlp = config.core.mlp
+    num_cores = workload.num_copies
+    counters = architecture.counters
+    timing = architecture.access_timing
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    batch_streams = workload.stream_batches(
+        warmup_per_core + accesses_per_core
     )
+    # Per-core chunk cursors over the vectorised record stream.  Columns
+    # are materialised as plain Python lists once per chunk — scalar
+    # indexing into a list is several times faster than into a NumPy
+    # array, and ``.tolist()`` yields exact Python ints/bools.
+    addr_cols: List[Optional[list]] = [None] * num_cores
+    gap_cols: List[Optional[list]] = [None] * num_cores
+    write_cols: List[Optional[list]] = [None] * num_cores
+    positions = [0] * num_cores
+    lengths = [0] * num_cores
+
+    def fetch(core: int):
+        """Next ``(address, icount_gap, is_write)`` of ``core``'s
+        stream, refilling the chunk cursor as needed."""
+        pos = positions[core]
+        while pos >= lengths[core]:
+            batch = next(batch_streams[core], None)
+            if batch is None:
+                return None
+            addr_cols[core] = batch.addresses.tolist()
+            gap_cols[core] = batch.icount_gaps.tolist()
+            write_cols[core] = batch.is_writes.tolist()
+            lengths[core] = len(addr_cols[core])
+            pos = 0
+        positions[core] = pos + 1
+        return addr_cols[core][pos], gap_cols[core][pos], write_cols[core][pos]
+
+    epoch_state = {"epoch": 0}
+
+    def run_phase(budget_per_core: int, record_stats: bool) -> None:
+        if budget_per_core <= 0:
+            return
+        remaining = [budget_per_core] * num_cores
+        # Engine-local accumulators, flushed in bulk at phase end: the
+        # global-order latency trail (counters + histogram) and the
+        # per-core tallies (CoreRunStats fields start at zero, so a
+        # local fold from 0.0 lands on the same bits as the scalar
+        # loop's per-access ``+=``).
+        latencies: List[float] = []
+        append = latencies.append
+        fast_hits = 0
+        issued = 0
+        inst = [0] * num_cores
+        nacc = [0] * num_cores
+        mlat = [0.0] * num_cores
+        # Single-phase heap: one entry per core holding its next
+        # prepared access.  Entries never tie beyond the core index, so
+        # the payload fields are never compared.
+        heap: List[tuple] = []
+        for core in range(num_cores):
+            fetched = fetch(core)
+            if fetched is None:
+                continue
+            remaining[core] -= 1
+            address, gap, is_write = fetched
+            heappush(
+                heap,
+                (
+                    core_clock_ns[core] + gap * ns_per_instruction,
+                    core,
+                    address,
+                    is_write,
+                    gap,
+                ),
+            )
+        while heap:
+            issue_ns, core, address, is_write, gap = heappop(heap)
+            latency_ns, fast_hit = timing(address, issue_ns, is_write)
+            append(latency_ns)
+            if fast_hit:
+                fast_hits += 1
+            clock = issue_ns + latency_ns / mlp
+            core_clock_ns[core] = clock
+            if record_stats:
+                inst[core] += gap
+                nacc[core] += 1
+                mlat[core] += latency_ns
+                if epoch_every:
+                    issued += 1
+                    if issued % epoch_every == 0:
+                        epoch_state["epoch"] += 1
+                        # Counter updates are deferred, so the snapshot
+                        # is built from the engine's own exact tallies
+                        # (they equal the live counters of the scalar
+                        # loop at the same point).
+                        telemetry.emit(
+                            EpochSample(
+                                time_ns=issue_ns,
+                                epoch=epoch_state["epoch"],
+                                accesses=float(issued),
+                                fast_hits=float(fast_hits),
+                                swaps=counters["swap.swaps"],
+                                faults=0,
+                            )
+                        )
+            if remaining[core] > 0:
+                # Inlined ``fetch`` fast case — the chunk cursor almost
+                # always has the next record in hand; the function call
+                # is paid only on refill.
+                pos = positions[core]
+                if pos < lengths[core]:
+                    remaining[core] -= 1
+                    positions[core] = pos + 1
+                    gap = gap_cols[core][pos]
+                    heappush(
+                        heap,
+                        (
+                            clock + gap * ns_per_instruction,
+                            core,
+                            addr_cols[core][pos],
+                            write_cols[core][pos],
+                            gap,
+                        ),
+                    )
+                else:
+                    fetched = fetch(core)
+                    if fetched is not None:
+                        remaining[core] -= 1
+                        address, gap, is_write = fetched
+                        heappush(
+                            heap,
+                            (
+                                clock + gap * ns_per_instruction,
+                                core,
+                                address,
+                                is_write,
+                                gap,
+                            ),
+                        )
+
+        architecture.record_access_batch(latencies, fast_hits)
+        if record_stats:
+            for core in range(num_cores):
+                stats = per_core[core]
+                stats.instructions = inst[core]
+                stats.memory_accesses = nacc[core]
+                stats.memory_latency_ns = mlat[core]
+            epoch_state["issued"] = issued
+            epoch_state["fast_hits"] = fast_hits
+
+    architecture.begin_batch_stats()
+    try:
+        run_phase(warmup_per_core, record_stats=False)
+        # Publish warmup tallies before the reset wipes them — exactly
+        # what the scalar loop's per-access updates amount to — so the
+        # measured window starts from a clean slate while the (never
+        # reset) latency histogram keeps its warmup observations.
+        architecture.flush_batch_stats()
+        architecture.counters.reset()
+        run_phase(accesses_per_core, record_stats=True)
+    finally:
+        architecture.end_batch_stats()
+
+    issued = epoch_state.get("issued", 0)
+    if epoch_every and issued % epoch_every:
+        epoch_state["epoch"] += 1
+        telemetry.emit(
+            EpochSample(
+                time_ns=max(core_clock_ns),
+                epoch=epoch_state["epoch"],
+                accesses=float(issued),
+                fast_hits=float(epoch_state["fast_hits"]),
+                swaps=counters["swap.swaps"],
+                faults=0,
+            )
+        )

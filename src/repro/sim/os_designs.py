@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.config import SystemConfig
-from repro.arch.base import AccessResult, MemoryArchitecture
+from repro.arch.base import MemoryArchitecture
 from repro.arch.remap import SegmentGeometry
 from repro.osmodel.autonuma import (
     FAST_NODE,
@@ -86,9 +86,9 @@ class FirstTouchMemory(MemoryArchitecture):
     def _device_address(self, segment_id: int, in_fast: bool, offset: int) -> int:
         return self._slot[segment_id] * self.geometry.segment_bytes + offset
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         segment = self.geometry.segment_of(address)
         in_fast = self._placement.get(segment)
         if in_fast is None:
@@ -102,9 +102,7 @@ class FirstTouchMemory(MemoryArchitecture):
             if in_fast
             else self.memory.slow.access(device_address, now_ns, is_write)
         )
-        result = AccessResult(latency_ns=latency, fast_hit=bool(in_fast))
-        self.record_access_outcome(result)
-        return result
+        return latency, bool(in_fast)
 
 
 class AutoNumaMemory(FirstTouchMemory):
@@ -191,9 +189,9 @@ class AutoNumaMemory(FirstTouchMemory):
 
     # -- demand path with hint faults ------------------------------------
 
-    def access(
+    def access_timing(
         self, address: int, now_ns: float, is_write: bool = False
-    ) -> AccessResult:
+    ) -> tuple[float, bool]:
         segment = self.geometry.segment_of(address)
         if segment not in self._placement:
             self.isa_alloc(segment)
@@ -214,9 +212,7 @@ class AutoNumaMemory(FirstTouchMemory):
             else self.memory.slow.access(device_address, now_ns, is_write)
         )
         latency += self._hint_fault_penalty(segment)
-        result = AccessResult(latency_ns=latency, fast_hit=in_fast)
-        self.record_access_outcome(result)
-        return result
+        return latency, in_fast
 
     def _hint_fault_penalty(self, segment: int) -> float:
         """Charge the trapped minor fault of a poisoned page once per

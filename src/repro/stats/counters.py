@@ -10,7 +10,7 @@ timelines.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterator, Mapping
+from typing import Any, Dict, Iterable, Iterator, Mapping
 
 #: Version of the :meth:`CounterSet.to_dict` wire format.
 COUNTERS_SCHEMA_VERSION = 1
@@ -30,6 +30,41 @@ class CounterSet:
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         self._counts[name] += amount
+
+    def add_many(self, name: str, amounts: Iterable[float]) -> None:
+        """Fold ``amounts`` into ``name`` one by one, left to right.
+
+        Bulk analogue of calling :meth:`add` per element, with a single
+        dict access for the whole batch.  The accumulation is a
+        sequential left fold from the counter's current value, so the
+        result is bit-identical to the per-element loop — the property
+        the batched simulation kernel's parity guarantee rests on.
+        """
+        total = self._counts[name]
+        for amount in amounts:
+            if amount < 0:
+                raise ValueError(
+                    f"counter increments must be >= 0, got {amount}"
+                )
+            total += amount
+        self._counts[name] = total
+
+    def add_repeat(self, name: str, amount: float, count: int) -> None:
+        """Apply ``count`` sequential increments of the same ``amount``.
+
+        Equivalent to ``add_many(name, [amount] * count)`` without
+        building the list; used to flush deferred constant-sized
+        contributions (e.g. per-burst DRAM bus occupancy) while keeping
+        the float accumulation order of the scalar path.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        if count < 0:
+            raise ValueError(f"repeat count must be >= 0, got {count}")
+        total = self._counts[name]
+        for _ in range(count):
+            total += amount
+        self._counts[name] = total
 
     def __getitem__(self, name: str) -> float:
         return self._counts.get(name, 0.0)

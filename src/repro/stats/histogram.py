@@ -5,6 +5,8 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 
 class Histogram:
     """Histogram over half-open buckets ``[b[i], b[i+1])``.
@@ -48,6 +50,34 @@ class Histogram:
     def record_many(self, values: Iterable[float]) -> None:
         for value in values:
             self.record(value)
+
+    def observe_array(self, values: Sequence[float]) -> None:
+        """Bulk-record ``values`` (unit weight each).
+
+        The bucket counts are accumulated with vectorised NumPy ops
+        (``searchsorted(side='right')`` matches ``bisect_right`` index
+        for index), while the exact running total is folded
+        sequentially so the mean stays bit-identical to calling
+        :meth:`record` per element — the batched simulation kernel
+        relies on that parity.
+        """
+        if len(values) == 0:
+            return
+        array = np.asarray(values, dtype=np.float64)
+        indices = np.searchsorted(self._bounds, array, side="right")
+        for index, weight in enumerate(
+            np.bincount(indices, minlength=len(self._buckets))
+        ):
+            self._buckets[index] += int(weight)
+        self._count += len(array)
+        total = self._total
+        for value in values:
+            total += value
+        self._total = total
+        lo = float(array.min())
+        hi = float(array.max())
+        self._min = lo if self._min is None else min(self._min, lo)
+        self._max = hi if self._max is None else max(self._max, hi)
 
     @property
     def count(self) -> int:

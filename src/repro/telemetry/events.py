@@ -126,7 +126,9 @@ class EpochSample(TelemetryEvent):
     accesses: float
     fast_hits: float
     swaps: float
-    faults: float
+    #: Cumulative page-fault count — an exact integer tally, carried as
+    #: ``int`` end-to-end (the engine no longer widens it to float).
+    faults: int
 
 
 #: ``kind`` tag -> event class, for deserialisation.

@@ -9,12 +9,14 @@ and replayed from disk (:mod:`repro.trace.io`), and interleaved across
 cores (:func:`repro.trace.streams.interleave`).
 """
 
+from repro.trace.batch import RecordBatch
 from repro.trace.records import AccessRecord
 from repro.trace.io import read_trace, write_trace
 from repro.trace.streams import interleave, take, truncate_instructions
 
 __all__ = [
     "AccessRecord",
+    "RecordBatch",
     "read_trace",
     "write_trace",
     "interleave",

@@ -1,0 +1,75 @@
+"""Struct-of-arrays record batches for the chunked replay kernel.
+
+A :class:`RecordBatch` carries the same information as a run of
+:class:`~repro.trace.records.AccessRecord` objects — address, write
+flag, instruction gap — as three parallel NumPy arrays.  Generators
+produce batches directly (one per drawn access plan), the batched
+simulation kernel consumes them without materialising per-record
+objects, and :meth:`RecordBatch.records` adapts a batch back into the
+scalar iterator protocol for everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.trace.records import AccessRecord
+
+
+@dataclass(frozen=True)
+class RecordBatch:
+    """A contiguous run of per-core trace records, column-major.
+
+    Attributes
+    ----------
+    addresses:
+        ``int64`` OS-physical byte addresses.
+    icount_gaps:
+        ``int64`` instructions committed since each stream's previous
+        record.
+    is_writes:
+        ``bool`` store flags.
+    """
+
+    addresses: np.ndarray
+    icount_gaps: np.ndarray
+    is_writes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.addresses) == len(self.icount_gaps) == len(self.is_writes)
+        ):
+            raise ValueError("batch columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def records(self) -> Iterator[AccessRecord]:
+        """Scalar-compatibility view: yield one record per row."""
+        for address, is_write, gap in zip(
+            self.addresses.tolist(),
+            self.is_writes.tolist(),
+            self.icount_gaps.tolist(),
+        ):
+            yield AccessRecord(
+                address=address, is_write=is_write, icount_gap=gap
+            )
+
+    @classmethod
+    def from_records(cls, records: Iterable[AccessRecord]) -> "RecordBatch":
+        """Columnise an iterable of scalar records."""
+        rows = list(records)
+        return cls(
+            addresses=np.asarray(
+                [r.address for r in rows], dtype=np.int64
+            ),
+            icount_gaps=np.asarray(
+                [r.icount_gap for r in rows], dtype=np.int64
+            ),
+            is_writes=np.asarray(
+                [r.is_write for r in rows], dtype=bool
+            ),
+        )

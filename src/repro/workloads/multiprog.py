@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List
 
 from repro.config import SystemConfig
+from repro.trace.batch import RecordBatch
 from repro.trace.records import AccessRecord
 from repro.workloads.placement import contiguous_placement, scattered_placement
 from repro.workloads.suites import BenchmarkSpec
@@ -63,6 +64,16 @@ class MultiprogramWorkload:
     def streams(self, accesses_per_core: int) -> List[Iterator[AccessRecord]]:
         return [
             generator.stream(accesses_per_core)
+            for generator in self.generators()
+        ]
+
+    def stream_batches(
+        self, accesses_per_core: int
+    ) -> List[Iterator[RecordBatch]]:
+        """Column-batch form of :meth:`streams` (same records, same
+        seeds) for the batched replay kernel."""
+        return [
+            generator.stream_batches(accesses_per_core)
             for generator in self.generators()
         ]
 

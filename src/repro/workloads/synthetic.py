@@ -30,6 +30,7 @@ from typing import Iterator, List, Sequence
 import numpy as np
 
 from repro.config import CACHELINE_BYTES
+from repro.trace.batch import RecordBatch
 from repro.trace.records import AccessRecord
 from repro.workloads.suites import BenchmarkSpec
 
@@ -119,13 +120,23 @@ class SyntheticAccessGenerator:
 
     # ------------------------------------------------------------------
 
-    def stream(self, num_accesses: int) -> Iterator[AccessRecord]:
-        """Yield ``num_accesses`` LLC-miss records."""
+    def stream_batches(self, num_accesses: int) -> Iterator[RecordBatch]:
+        """Yield ``num_accesses`` LLC-miss records as column batches.
+
+        One batch per drawn access plan.  The RNG call sequence is
+        identical to the historical scalar emission loop: all plan
+        draws happen before the plan's records exist, and the phase
+        rotations a plan's records trigger are performed in order
+        before the next plan is drawn (record emission itself never
+        consumed entropy), so record streams are bit-identical to the
+        pre-batch generator.
+        """
         if num_accesses < 0:
             raise ValueError("num_accesses must be non-negative")
         remaining = num_accesses
         gap = self.spec.icount_gap
         run_length = self.spec.run_length
+        lines_per_segment = self.lines_per_segment
         while remaining > 0:
             plan = min(self._batch, remaining)
             runs = max(1, plan // run_length)
@@ -148,34 +159,55 @@ class SyntheticAccessGenerator:
                     )
             segment_ids = self._segments[self._ranking[rank_indices]]
             start_lines = self._rng.integers(
-                0, self.lines_per_segment, size=runs
+                0, lines_per_segment, size=runs
             )
             lengths = self._rng.geometric(
                 1.0 / run_length, size=runs
-            ).clip(1, self.lines_per_segment)
+            ).clip(1, lines_per_segment).astype(np.int64)
             writes = self._rng.random(size=runs) < self.spec.write_fraction
-            for index in range(runs):
-                if remaining <= 0:
-                    return
-                base = int(segment_ids[index]) * self.segment_bytes
-                line = int(start_lines[index])
-                for _ in range(int(lengths[index])):
-                    if remaining <= 0:
-                        return
-                    address = base + (line % self.lines_per_segment) * (
-                        CACHELINE_BYTES
-                    )
-                    yield AccessRecord(
-                        address=address,
-                        is_write=bool(writes[index]),
-                        icount_gap=gap,
-                    )
-                    line += 1
-                    remaining -= 1
-                    self._accesses_in_phase += 1
-                    if self._accesses_in_phase >= self.spec.phase_accesses:
-                        self._accesses_in_phase = 0
-                        self._rotate_phase()
+
+            # Flatten the runs into per-record columns, truncated to the
+            # records the scalar loop would actually have emitted.
+            run_starts = np.cumsum(lengths) - lengths
+            run_index = np.repeat(
+                np.arange(runs, dtype=np.int64), lengths
+            )
+            positions = (
+                np.arange(run_index.size, dtype=np.int64)
+                - np.repeat(run_starts, lengths)
+            )
+            emitted = min(run_index.size, remaining)
+            if emitted < run_index.size:
+                run_index = run_index[:emitted]
+                positions = positions[:emitted]
+            lines = (
+                start_lines[run_index] + positions
+            ) % lines_per_segment
+            addresses = (
+                segment_ids[run_index] * self.segment_bytes
+                + lines * CACHELINE_BYTES
+            )
+            remaining -= emitted
+            # Phase bookkeeping: each record increments the in-phase
+            # count and rotates on reaching ``phase_accesses``, so a
+            # batch of ``emitted`` records triggers a deterministic
+            # number of rotations (performed in order, before the next
+            # plan draws from the rotated working set).
+            progressed = self._accesses_in_phase + emitted
+            rotations = progressed // self.spec.phase_accesses
+            self._accesses_in_phase = progressed % self.spec.phase_accesses
+            for _ in range(rotations):
+                self._rotate_phase()
+            yield RecordBatch(
+                addresses=addresses,
+                icount_gaps=np.full(emitted, gap, dtype=np.int64),
+                is_writes=writes[run_index],
+            )
+
+    def stream(self, num_accesses: int) -> Iterator[AccessRecord]:
+        """Yield ``num_accesses`` LLC-miss records (scalar adapter)."""
+        for batch in self.stream_batches(num_accesses):
+            yield from batch.records()
 
     # ------------------------------------------------------------------
 

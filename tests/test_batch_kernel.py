@@ -1,0 +1,278 @@
+"""Batched-kernel parity and regression suite.
+
+The batched replay kernel is only allowed to be *faster* than the
+scalar reference — never different.  These tests hold the two kernels
+bit-identical (full :meth:`SimulationResult.to_dict` wire form plus the
+telemetry event stream) across every registered design, and pin the
+engine behaviours the batched path had to preserve: telemetry-bus
+restoration, integer fault tallies, warmup/measured accounting, and the
+bulk counter/histogram accumulators.
+"""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.arch import PoMArchitecture
+from repro.core import ChameleonArchitecture
+from repro.experiments.designs import REGISTRY
+from repro.experiments.runner import SMOKE_SCALE
+from repro.sim import KERNELS, select_kernel, simulate
+from repro.stats import CounterSet, Histogram
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import EpochSample
+from repro.telemetry.recorder import EventLog
+from repro.workloads import benchmark, build_workload
+
+#: Designs whose OS-visible capacity forces a pager (scalar fallback).
+PAGER_BACKED = {
+    "baseline_20GB_DDR3",
+    "Alloy-Cache",
+    "KNL-hybrid-25",
+    "KNL-hybrid-50",
+}
+
+
+def _smoke_workload(config):
+    return build_workload(
+        config,
+        benchmark(SMOKE_SCALE.benchmarks[0]),
+        num_copies=SMOKE_SCALE.num_copies,
+        seed=SMOKE_SCALE.seed,
+    )
+
+
+def _run(label, kernel, config):
+    architecture = REGISTRY.get(label).factory(config)
+    workload = _smoke_workload(config)
+    bus = EventBus()
+    log = EventLog()
+    bus.subscribe(log)
+    result = simulate(
+        architecture,
+        workload,
+        accesses_per_core=SMOKE_SCALE.accesses_per_core,
+        warmup_per_core=SMOKE_SCALE.warmup_per_core,
+        telemetry=bus,
+        kernel=kernel,
+    )
+    events = [event.to_dict() for event in log.events]
+    return result, events
+
+
+class TestKernelParity:
+    """auto (batched where eligible) == scalar, for every design."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return SMOKE_SCALE.config()
+
+    @pytest.mark.parametrize("label", REGISTRY.labels())
+    def test_design_parity(self, label, config):
+        scalar_result, scalar_events = _run(label, "scalar", config)
+        auto_result, auto_events = _run(label, "auto", config)
+        assert json.dumps(
+            auto_result.to_dict(), sort_keys=True
+        ) == json.dumps(scalar_result.to_dict(), sort_keys=True)
+        assert auto_events == scalar_events
+
+    def test_parity_covers_batched_designs(self, config):
+        """The sweep above exercises the batched kernel, not just the
+        scalar fallback — guard against the registry drifting to
+        all-pager designs."""
+        batched = [
+            label
+            for label in REGISTRY.labels()
+            if label not in PAGER_BACKED
+        ]
+        assert len(batched) >= 3
+
+
+class TestKernelSelection:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return SMOKE_SCALE.config()
+
+    def test_kernels_constant(self):
+        assert KERNELS == ("auto", "batched", "scalar")
+
+    @pytest.mark.parametrize("label", sorted(PAGER_BACKED))
+    def test_pager_backed_designs_fall_back_to_scalar(self, label, config):
+        architecture = REGISTRY.get(label).factory(config)
+        workload = _smoke_workload(config)
+        pager_present = (
+            architecture.os_visible_bytes < config.total_capacity_bytes
+        )
+        assert pager_present
+        assert select_kernel(architecture, workload, pager_present) == "scalar"
+
+    def test_pom_selects_batched(self, config):
+        architecture = PoMArchitecture(config)
+        workload = _smoke_workload(config)
+        assert select_kernel(architecture, workload, False) == "batched"
+
+    def test_forced_batched_rejects_pager_backed_design(self, config):
+        architecture = REGISTRY.get("Alloy-Cache").factory(config)
+        workload = _smoke_workload(config)
+        with pytest.raises(ValueError, match="pager-backed"):
+            simulate(
+                architecture,
+                workload,
+                accesses_per_core=50,
+                warmup_per_core=0,
+                kernel="batched",
+            )
+
+    def test_unknown_kernel_rejected(self, config):
+        architecture = PoMArchitecture(config)
+        workload = _smoke_workload(config)
+        with pytest.raises(ValueError, match="kernel"):
+            simulate(
+                architecture,
+                workload,
+                accesses_per_core=50,
+                warmup_per_core=0,
+                kernel="vectorised",
+            )
+
+
+class TestTelemetryBusHygiene:
+    def test_simulate_restores_prior_bus(self):
+        """A telemetry run must not leak its bus into the architecture:
+        reusing the instance afterwards (with or without telemetry)
+        sees the architecture's original bus again."""
+        config = scaled_config(fast_mb=1.0)
+        architecture = ChameleonArchitecture(config)
+        original_bus = architecture.telemetry
+        workload = _smoke_workload(config)
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        simulate(
+            architecture,
+            workload,
+            accesses_per_core=100,
+            warmup_per_core=100,
+            telemetry=bus,
+        )
+        assert architecture.telemetry is original_bus
+        assert log.events  # the run did emit through the passed bus
+        before = len(log.events)
+        simulate(
+            architecture,
+            _smoke_workload(config),
+            accesses_per_core=100,
+            warmup_per_core=100,
+        )
+        # The second (telemetry-off) run must not feed the first's log.
+        assert len(log.events) == before
+
+    def test_epoch_faults_are_int(self):
+        config = scaled_config(fast_mb=1.0)
+        architecture = PoMArchitecture(config)
+        workload = _smoke_workload(config)
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        simulate(
+            architecture,
+            workload,
+            accesses_per_core=200,
+            warmup_per_core=0,
+            telemetry=bus,
+        )
+        samples = [e for e in log.events if isinstance(e, EpochSample)]
+        assert samples
+        for sample in samples:
+            assert type(sample.faults) is int
+            assert type(sample.to_dict()["faults"]) is int
+
+
+class TestWarmupBoundary:
+    """counters.reset() after warmup leaves the measured-window metrics
+    derived from measured traffic only — on both kernels."""
+
+    @pytest.mark.parametrize("kernel", ["scalar", "auto"])
+    def test_measured_window_metrics(self, kernel):
+        config = scaled_config(fast_mb=1.0)
+        workload = _smoke_workload(config)
+        result = simulate(
+            PoMArchitecture(config),
+            workload,
+            accesses_per_core=300,
+            warmup_per_core=300,
+            kernel=kernel,
+        )
+        measured = 300 * SMOKE_SCALE.num_copies
+        assert result.counters["arch.accesses"] == measured
+        assert (
+            result.fast_hit_rate
+            == result.counters["arch.fast_hits"] / measured
+        )
+        assert (
+            result.average_latency_ns
+            == result.counters["arch.latency_ns"] / measured
+        )
+
+    def test_trailing_epoch_flush_with_telemetry(self):
+        """A measured total not divisible by the epoch stride emits one
+        trailing partial EpochSample covering the leftovers, and its
+        cumulative tallies equal the full measured window."""
+        config = scaled_config(fast_mb=1.0)
+        workload = _smoke_workload(config)
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        # 301 * 4 = 1204 measured accesses; stride = 1204 // 20 = 60,
+        # 1204 % 60 = 4 leftovers -> 20 full epochs + 1 trailing flush.
+        result = simulate(
+            PoMArchitecture(config),
+            workload,
+            accesses_per_core=301,
+            warmup_per_core=301,
+            telemetry=bus,
+        )
+        samples = [e for e in log.events if isinstance(e, EpochSample)]
+        assert len(samples) == 21
+        assert [s.epoch for s in samples] == list(range(1, 22))
+        last = samples[-1]
+        assert last.accesses == result.counters["arch.accesses"]
+        assert last.fast_hits == result.counters["arch.fast_hits"]
+
+
+class TestBulkAccumulators:
+    """The bulk accumulator primitives the batched kernel relies on."""
+
+    def test_add_many_matches_sequential_adds(self):
+        bulk = CounterSet()
+        sequential = CounterSet()
+        values = [0.1, 0.25, 1.75, 3.5, 0.1]
+        bulk.add_many("k", values)
+        for value in values:
+            sequential.add("k", value)
+        assert bulk["k"] == sequential["k"]
+
+    def test_add_repeat_matches_repeated_adds(self):
+        bulk = CounterSet()
+        sequential = CounterSet()
+        bulk.add_repeat("k", 0.1, 7)
+        for _ in range(7):
+            sequential.add("k", 0.1)
+        assert bulk["k"] == sequential["k"]
+        assert bulk["k"] != 0.1 * 7  # the multiply is NOT equivalent
+
+    def test_observe_array_matches_sequential_records(self):
+        bulk = Histogram.linear(0.0, 128.0, 8)
+        sequential = Histogram.linear(0.0, 128.0, 8)
+        values = [3.0, 17.5, 120.0, 64.25, 3.0, 250.0]
+        bulk.observe_array(values)
+        for value in values:
+            sequential.record(value)
+        assert bulk.buckets() == sequential.buckets()
+        assert bulk.mean == sequential.mean
+        assert (bulk.count, bulk.minimum, bulk.maximum) == (
+            sequential.count,
+            sequential.minimum,
+            sequential.maximum,
+        )
