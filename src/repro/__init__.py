@@ -74,7 +74,7 @@ from repro.dram import system_energy
 from repro.osmodel import BufferCache, MemoryBoundScheduler
 from repro.trace.stats import characterize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GB",

@@ -25,6 +25,27 @@ Sweep execution goes through :mod:`repro.runtime`:
 ``--progress``
     Print one stderr line per completed sweep cell.
 
+Fault tolerance (see docs/RUNTIME.md):
+
+``--timeout SECONDS``
+    Per-job wall-clock limit; an overdue worker is terminated and its
+    cell retried (pooled execution only — serial cells cannot be
+    preempted).
+``--retries N``
+    Bounded retries per cell after crashes, timeouts, or transient
+    exceptions (default 2), with exponential backoff.  A cell that
+    still fails raises ``SweepJobError`` carrying (design, workload,
+    attempt).
+``--resume``
+    Journal completed cells to a JSONL checkpoint next to the result
+    cache and, when a journal from an interrupted run exists, replay
+    only the missing cells — bit-identical to an uninterrupted run.
+
+``$REPRO_FAULTS`` (e.g. ``seed=7,crash=2,hang=1,corrupt=1,retries=4,
+timeout=5``) injects deterministic faults into the sweep — the CI
+fault matrix runs on exactly this hook.  The ``[runtime]`` trailer
+reports ``retries=/timeouts=/crashes=/resumed=`` counters.
+
 Telemetry (see docs/TELEMETRY.md) hangs off the same executor:
 
 ``--trace`` / ``--trace-out PATH``
@@ -243,6 +264,47 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-cell progress to stderr",
     )
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+        return value
+
+    parser.add_argument(
+        "--timeout",
+        type=positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock timeout; an overdue worker is killed "
+            "and its cell retried (default: none)"
+        ),
+    )
+    def nonnegative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+        return value
+
+    parser.add_argument(
+        "--retries",
+        type=nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "retries per cell after a crash/timeout/transient error "
+            "(default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "checkpoint completed cells to a JSONL journal next to "
+            "the result cache and resume an interrupted sweep, "
+            "replaying only missing cells"
+        ),
+    )
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -306,6 +368,9 @@ def main(argv: list[str] | None = None) -> int:
         on_cell=print_progress if args.progress else None,
         telemetry=EventBus() if trace else None,
         audit=args.audit,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal_dir=cache_dir if args.resume else None,
     )
     scale = dataclasses.replace(
         DEFAULT_SCALE,

@@ -47,6 +47,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Unreadable/truncated/incompatible entries dropped on lookup
+    #: (each also counts as a miss and an eviction).
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -97,12 +100,23 @@ class ResultCache:
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
+    def entry_path(self, scale: Any, design: str, workload: str) -> Path:
+        """Where the cell's entry lives (whether or not it exists)."""
+        return self._path(self.key(scale, design, workload))
+
     # -- traffic -------------------------------------------------------
 
     def get(
         self, scale: Any, design: str, workload: str
     ) -> Optional[SimulationResult]:
-        """The cached result, or ``None`` (counted as hit/miss)."""
+        """The cached result, or ``None`` (counted as hit/miss).
+
+        A corrupt entry — truncated file, invalid JSON or UTF-8, wrong
+        payload shape, incompatible result schema, even an unreadable
+        file — **never raises**: it is evicted and counted as a miss
+        (plus ``stats.corrupt``/``stats.evictions``), so one damaged
+        file costs one re-simulation, not the sweep.
+        """
         path = self._path(self.key(scale, design, workload))
         try:
             payload = json.loads(path.read_text())
@@ -110,9 +124,20 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        except (
+            OSError,
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ):
             # Corrupt or incompatible entry: drop it and report a miss.
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # unremovable (permissions): still just a miss
+            self.stats.corrupt += 1
+            self.stats.evictions += 1
             self.stats.misses += 1
             return None
         os.utime(path)  # refresh LRU position

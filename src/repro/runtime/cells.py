@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Tuple
 
+from repro.runtime.faults import apply_fault
 from repro.sim import SimulationResult, simulate
 from repro.telemetry.auditor import InvariantAuditor
 from repro.telemetry.bus import EventBus
@@ -72,16 +73,28 @@ def simulate_cell(
 def timed_cell(
     args: Tuple,
 ) -> Tuple[str, str, float, SimulationResult, List[Dict]]:
-    """Process-pool entry point: ``(scale, design, workload[, capture,
-    audit])`` in, ``(design, workload, seconds, result, events)`` out.
+    """Worker-process entry point: ``(scale, design, workload[,
+    capture, audit[, fault, hang_seconds]])`` in, ``(design, workload,
+    seconds, result, events)`` out.
 
     ``events`` is a list of :meth:`TelemetryEvent.to_dict` dicts (events
     themselves carry no pickle guarantee across versions; the dict form
     is the wire format) — empty unless ``capture`` is set.
+
+    ``fault`` is an injected fault kind from a
+    :class:`~repro.runtime.faults.FaultPlan`, executed *inside the
+    worker* before the simulation so crashes kill the right process and
+    hangs stall the right attempt.  Fault injection is observational
+    with respect to the final sweep: a faulted attempt never produces a
+    result, and the retried attempt carries no fault.
     """
-    scale, design, workload, capture, audit = (
-        args if len(args) == 5 else (*args, False, False)
-    )
+    if len(args) == 3:
+        args = (*args, False, False)
+    if len(args) == 5:
+        args = (*args, None, 0.0)
+    scale, design, workload, capture, audit, fault, hang_seconds = args
+    if fault is not None:
+        apply_fault(fault, serial=False, hang_seconds=hang_seconds)
     start = time.perf_counter()
     if capture or audit:
         bus = EventBus()

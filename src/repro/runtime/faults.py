@@ -1,0 +1,296 @@
+"""Deterministic fault injection for the sweep runtime.
+
+Long heterogeneous-memory sweeps (Figures 15-23 at production scale)
+die in every way a process pool can die: a worker segfaults, a cell
+hangs, a transient exception escapes, an on-disk cache entry is cut
+short by a power loss.  The hardened
+:class:`~repro.runtime.executor.SweepExecutor` tolerates all of these
+— and this module makes each failure mode *reproducible on demand* so
+the tolerance machinery is itself under test.
+
+A :class:`FaultPlan` is a seed-driven description of which faults to
+inject into a sweep.  :meth:`FaultPlan.materialise` assigns the
+planned faults to concrete ``(design, workload)`` cells with a seeded
+:class:`random.Random` shuffle of the *sorted* cell grid, so the
+assignment depends only on ``(seed, grid)`` — never on execution
+order, worker count, or cache state.  Each chosen cell faults at most
+once, on the first attempt that actually runs it, which is what makes
+the ISSUE-level guarantee cheap to state: any plan with
+``retries >= 1`` still converges to results byte-equal to a
+fault-free serial run.
+
+Plans activate two ways: passed to ``SweepExecutor(faults=...)``
+directly, or exported as ``REPRO_FAULTS`` for CI (see
+:meth:`FaultPlan.from_env`)::
+
+    REPRO_FAULTS="seed=7,crash=3,hang=1,error=2,corrupt=1,retries=4,timeout=5"
+
+Fault kinds
+-----------
+
+``crash``
+    The worker process dies mid-cell (``os._exit``); serially, a
+    :class:`WorkerCrashError` is raised in its place.
+``hang``
+    The worker stalls for ``hang_seconds`` before proceeding — long
+    enough for the executor's per-job timeout to kill it; serially
+    (where nothing can preempt an inline call) it converts directly
+    into a :class:`JobTimeoutError`.
+``error``
+    A transient :class:`InjectedFault` exception escapes the cell.
+``corrupt``
+    The cell's on-disk :class:`~repro.runtime.cache.ResultCache`
+    entry is truncated before lookup, exercising the
+    corrupt-entry-is-a-miss path.  A cold cache makes this a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+FAULT_ERROR = "error"
+FAULT_CORRUPT = "corrupt"
+
+#: Every injectable fault kind.
+FAULT_KINDS = (FAULT_CRASH, FAULT_HANG, FAULT_ERROR, FAULT_CORRUPT)
+
+#: Exit code used by injected worker crashes (recognisable in logs).
+CRASH_EXIT_CODE = 86
+
+#: Environment variable holding a :meth:`FaultPlan.parse` spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+# ----------------------------------------------------------------------
+# Failure vocabulary
+# ----------------------------------------------------------------------
+
+
+class SweepJobError(RuntimeError):
+    """A sweep cell failed permanently (every retry exhausted).
+
+    Carries the full job context — ``design``, ``workload``, and how
+    many ``attempts`` were made — plus the last underlying ``cause``
+    (also chained as ``__cause__`` when raised by the executor), so a
+    multi-hour sweep never dies with a bare ``BrokenProcessPool``.
+    """
+
+    def __init__(
+        self,
+        design: str,
+        workload: str,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        self.design = design
+        self.workload = workload
+        self.attempts = attempts
+        self.cause = cause
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(
+            f"sweep cell {design}/{workload} failed after "
+            f"{attempts} attempt(s){detail}"
+        )
+
+    def __reduce__(self):  # picklable across process boundaries
+        return (
+            type(self),
+            (self.design, self.workload, self.attempts, self.cause),
+        )
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without delivering its cell's result."""
+
+
+class JobTimeoutError(RuntimeError):
+    """One attempt at a cell exceeded the per-job wall-clock timeout."""
+
+
+class InjectedFault(RuntimeError):
+    """A transient exception injected by a :class:`FaultPlan`."""
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+
+_SPEC_KEYS = {
+    "seed": ("seed", int),
+    "crash": ("crashes", int),
+    "crashes": ("crashes", int),
+    "hang": ("hangs", int),
+    "hangs": ("hangs", int),
+    "error": ("errors", int),
+    "errors": ("errors", int),
+    "corrupt": ("corrupt", int),
+    "hang_seconds": ("hang_seconds", float),
+    "retries": ("retries", int),
+    "timeout": ("timeout", float),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed-driven description of the faults to inject into a sweep.
+
+    ``retries``/``timeout`` are *suggested executor settings* that ride
+    along with an environment-activated plan (CI exports one variable
+    and the executor adopts matching tolerance); an explicit executor
+    argument always wins.
+    """
+
+    seed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    errors: int = 0
+    corrupt: int = 0
+    hang_seconds: float = 60.0
+    retries: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for field in ("crashes", "hangs", "errors", "corrupt"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+
+    @property
+    def total(self) -> int:
+        """How many faults the plan wants to inject."""
+        return self.crashes + self.hangs + self.errors + self.corrupt
+
+    def materialise(
+        self, cells: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], str]:
+        """Assign the planned faults to concrete cells.
+
+        Deterministic in ``(seed, cell grid)`` only: the sorted grid is
+        shuffled with ``random.Random(seed)`` and faults are dealt onto
+        it in kind order.  At most one fault lands per cell; a plan
+        larger than the grid is truncated (``zip`` semantics).
+        """
+        order = sorted(set(cells))
+        random.Random(self.seed).shuffle(order)
+        kinds = (
+            [FAULT_CRASH] * self.crashes
+            + [FAULT_HANG] * self.hangs
+            + [FAULT_ERROR] * self.errors
+            + [FAULT_CORRUPT] * self.corrupt
+        )
+        return dict(zip(order, kinds))
+
+    # -- spec syntax ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``k=v,k=v`` spec string.
+
+        Keys: ``seed``, ``crash``/``crashes``, ``hang``/``hangs``,
+        ``error``/``errors``, ``corrupt``, ``hang-seconds``,
+        ``retries``, ``timeout`` (hyphens and underscores are
+        interchangeable).
+        """
+        values: Dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip().replace("-", "_")
+            if not sep or key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"bad {FAULTS_ENV} entry {part!r}; expected "
+                    f"key=value with key in "
+                    f"{sorted(set(k for k in _SPEC_KEYS))}"
+                )
+            field, convert = _SPEC_KEYS[key]
+            try:
+                values[field] = convert(raw.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad {FAULTS_ENV} value {part!r}: "
+                    f"expected {convert.__name__}"
+                ) from None
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan in ``$REPRO_FAULTS``, or ``None`` when unset/empty."""
+        spec = os.environ.get(FAULTS_ENV, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Fault execution
+# ----------------------------------------------------------------------
+
+
+def apply_fault(
+    kind: str, *, serial: bool, hang_seconds: float = 60.0
+) -> None:
+    """Execute one injected fault at the top of a cell attempt.
+
+    Runs inside the worker process for pooled execution (``serial=
+    False``) where a crash really kills the process and a hang really
+    stalls it; inline execution (``serial=True``) substitutes the
+    exception the executor would have derived from the same condition,
+    because the parent cannot crash or preempt itself.
+    """
+    if kind == FAULT_ERROR:
+        raise InjectedFault("injected transient worker exception")
+    if kind == FAULT_CRASH:
+        if serial:
+            raise WorkerCrashError("injected worker crash (serial)")
+        os._exit(CRASH_EXIT_CODE)
+    if kind == FAULT_HANG:
+        if serial:
+            raise JobTimeoutError("injected hang (serial)")
+        # Stall, then continue normally: with a per-job timeout the
+        # parent terminates this worker long before the sleep ends;
+        # without one the cell is merely delayed, never wrong.
+        time.sleep(hang_seconds)
+        return
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def corrupt_cache_entry(
+    cache: Any, scale: Any, design: str, workload: str
+) -> bool:
+    """Truncate a cell's on-disk cache entry (the ``corrupt`` fault).
+
+    Emulates a write cut short by a crash: the file keeps a prefix of
+    its JSON payload.  Returns whether an entry existed to corrupt.
+    """
+    path = cache.entry_path(scale, design, workload)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return False
+    path.write_bytes(data[: max(1, len(data) // 2)])
+    return True
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULTS_ENV",
+    "FAULT_CORRUPT",
+    "FAULT_CRASH",
+    "FAULT_ERROR",
+    "FAULT_HANG",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFault",
+    "JobTimeoutError",
+    "SweepJobError",
+    "WorkerCrashError",
+    "apply_fault",
+    "corrupt_cache_entry",
+]

@@ -1,0 +1,186 @@
+"""Checkpoint/resume journal for design sweeps.
+
+A multi-hour sweep must survive being killed: the
+:class:`~repro.runtime.executor.SweepExecutor` appends every completed
+``(design, workload)`` cell — with its full
+:meth:`~repro.sim.SimulationResult.to_dict` payload — to an
+append-only JSONL journal, flushed and fsynced per line, so a restart
+replays **only the missing cells** and merges bit-identically with an
+uninterrupted run.
+
+One journal file describes exactly one sweep: its name embeds the
+SHA-256 of the sweep identity (scale fields, design list, library
+version, result schema), so a changed grid can never resume from a
+stale journal — it simply addresses a different file.  The first line
+is a ``{"kind": "sweep", ...}`` header restating that identity; every
+further line is a ``{"kind": "cell", ...}`` record.
+
+Crash tolerance on the journal itself: a kill mid-append leaves a
+truncated final line.  :meth:`SweepJournal.load` stops at the first
+line that does not parse (or lacks its newline), remembers the byte
+offset of the last good line, and :meth:`SweepJournal.start` truncates
+the file there before appending — the partial record is dropped and
+its cell re-runs.
+
+Journals live next to the :class:`~repro.runtime.cache.ResultCache`
+(the CLI's ``--resume`` points them at the cache directory) and are
+deleted the moment their sweep completes: an existing journal *is* the
+marker of an interrupted sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.sim import RESULT_SCHEMA_VERSION, SimulationResult
+
+#: Journal cells keyed by ``(design, workload)``.
+JournalCells = Dict[Tuple[str, str], SimulationResult]
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of one sweep's completed cells."""
+
+    def __init__(self, path: Path | str, identity: Optional[dict] = None):
+        self.path = Path(path)
+        #: JSON-normalised sweep identity (``None`` skips validation).
+        self.identity = identity
+        self._handle = None
+        self._clean = 0  # byte offset of the last fully-parsed line
+
+    @classmethod
+    def for_sweep(
+        cls,
+        root: Path | str,
+        scale: Any,
+        designs: Sequence[str],
+        version: Optional[str] = None,
+    ) -> "SweepJournal":
+        """The journal for one ``(scale, designs, version)`` sweep,
+        living under ``root`` with the identity digest in its name."""
+        if version is None:
+            from repro import __version__ as version
+        identity = json.loads(
+            json.dumps(
+                {
+                    "scale": dataclasses.asdict(scale),
+                    "designs": list(designs),
+                    "version": version,
+                    "result_schema": RESULT_SCHEMA_VERSION,
+                }
+            )
+        )
+        digest = hashlib.sha256(
+            json.dumps(identity, sort_keys=True).encode()
+        ).hexdigest()
+        return cls(Path(root) / f"sweep-{digest[:16]}.jsonl", identity)
+
+    # -- resume --------------------------------------------------------
+
+    def load(self) -> JournalCells:
+        """Cells recovered from a previous interrupted run.
+
+        Tolerates a truncated tail (kill mid-append) by stopping at the
+        first unparseable or newline-less line; everything before it is
+        trusted.  A missing, empty, or wrong-identity journal recovers
+        nothing and will be rewritten from scratch by :meth:`start`.
+        """
+        recovered: JournalCells = {}
+        self._clean = 0
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return recovered
+        offset = 0
+        header_seen = False
+        for line in data.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break
+            try:
+                entry = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                break
+            if not isinstance(entry, dict):
+                break
+            if not header_seen:
+                expected = dict(self.identity or {}, kind="sweep")
+                if entry.get("kind") != "sweep" or (
+                    self.identity is not None and entry != expected
+                ):
+                    return {}  # foreign or stale journal: start over
+                header_seen = True
+            elif entry.get("kind") == "cell":
+                try:
+                    result = SimulationResult.from_dict(entry["result"])
+                    cell = (str(entry["design"]), str(entry["workload"]))
+                except (KeyError, TypeError, ValueError):
+                    break
+                recovered[cell] = result
+            else:
+                break
+            offset += len(line)
+        self._clean = offset
+        return recovered
+
+    # -- writing -------------------------------------------------------
+
+    def start(self) -> None:
+        """Open for appending, dropping any partial trailing record
+        (and writing the header when the journal is fresh)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a+b")
+        self._handle.truncate(self._clean)
+        if self._clean == 0:
+            header = dict(self.identity or {}, kind="sweep")
+            self._write_line(header)
+
+    def record(
+        self,
+        design: str,
+        workload: str,
+        seconds: float,
+        result: SimulationResult,
+    ) -> None:
+        """Checkpoint one completed cell (flushed + fsynced, so it
+        survives an immediate kill)."""
+        self._write_line(
+            {
+                "kind": "cell",
+                "design": design,
+                "workload": workload,
+                "seconds": seconds,
+                "result": result.to_dict(),
+            }
+        )
+
+    def _write_line(self, entry: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal not started")
+        self._handle.write(json.dumps(entry).encode() + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Stop writing; the journal stays on disk for a later resume."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """The sweep completed: close and delete the journal."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+
+__all__ = ["JournalCells", "SweepJournal"]

@@ -16,6 +16,12 @@ from typing import Callable, List, Optional
 SOURCE_SIMULATED = "simulated"
 SOURCE_DISK = "disk-cache"
 SOURCE_MEMORY = "memory"
+SOURCE_JOURNAL = "journal"
+
+#: Failure kinds recorded by :meth:`SweepMetrics.record_failure`.
+FAILURE_CRASH = "crash"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_ERROR = "error"
 
 #: Callback fired as each cell completes: ``(stat, done, total)`` where
 #: ``done``/``total`` count cells within the current sweep.
@@ -40,6 +46,14 @@ class SweepMetrics:
     cells: List[CellStat] = field(default_factory=list)
     wall_seconds: float = 0.0
     sweeps: int = 0
+    #: Failed attempts, by kind (see docs/RUNTIME.md fault tolerance).
+    crashes: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    #: Attempts re-queued after a failure (failures that were absorbed).
+    retries: int = 0
+    #: The executor gave up on its worker pool and finished serially.
+    degraded: bool = False
 
     def record_cell(self, stat: CellStat) -> None:
         self.cells.append(stat)
@@ -47,6 +61,18 @@ class SweepMetrics:
     def record_sweep(self, wall_seconds: float) -> None:
         self.sweeps += 1
         self.wall_seconds += wall_seconds
+
+    def record_failure(self, kind: str) -> None:
+        """Count one failed attempt (``crash``/``timeout``/``error``)."""
+        if kind == FAILURE_CRASH:
+            self.crashes += 1
+        elif kind == FAILURE_TIMEOUT:
+            self.timeouts += 1
+        else:
+            self.errors += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
 
     # -- derived -------------------------------------------------------
 
@@ -68,6 +94,16 @@ class SweepMetrics:
     @property
     def memory_hits(self) -> int:
         return self._count(SOURCE_MEMORY)
+
+    @property
+    def resumed(self) -> int:
+        """Cells recovered from an interrupted sweep's journal."""
+        return self._count(SOURCE_JOURNAL)
+
+    @property
+    def failures(self) -> int:
+        """Total failed attempts, every kind."""
+        return self.crashes + self.timeouts + self.errors
 
     @property
     def cache_hit_rate(self) -> float:
@@ -100,7 +136,7 @@ class SweepMetrics:
 
     def summary(self) -> str:
         """One-line human summary (the CLI's ``[runtime]`` trailer)."""
-        return (
+        line = (
             f"cells={self.cells_total}"
             f" simulated={self.simulated}"
             f" disk-hits={self.disk_hits}"
@@ -108,7 +144,14 @@ class SweepMetrics:
             f" wall={self.wall_seconds:.2f}s"
             f" jobs={self.jobs}"
             f" util={self.worker_utilisation:.1%}"
+            f" retries={self.retries}"
+            f" timeouts={self.timeouts}"
+            f" crashes={self.crashes}"
+            f" resumed={self.resumed}"
         )
+        if self.degraded:
+            line += " degraded=serial"
+        return line
 
 
 def print_progress(stat: CellStat, done: int, total: int) -> None:
@@ -124,8 +167,12 @@ def print_progress(stat: CellStat, done: int, total: int) -> None:
 
 __all__ = [
     "CellStat",
+    "FAILURE_CRASH",
+    "FAILURE_ERROR",
+    "FAILURE_TIMEOUT",
     "ProgressCallback",
     "SOURCE_DISK",
+    "SOURCE_JOURNAL",
     "SOURCE_MEMORY",
     "SOURCE_SIMULATED",
     "SweepMetrics",

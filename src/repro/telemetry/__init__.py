@@ -30,6 +30,7 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     EpochSample,
     IsaAllocEvent,
+    JobRetryEvent,
     ModeTransition,
     PageFaultEvent,
     SegmentSwap,
@@ -58,6 +59,7 @@ __all__ = [
     "InvariantAuditor",
     "InvariantViolation",
     "IsaAllocEvent",
+    "JobRetryEvent",
     "ModeTransition",
     "NULL_BUS",
     "NullBus",

@@ -131,6 +131,24 @@ class EpochSample(TelemetryEvent):
     faults: int
 
 
+@dataclass(frozen=True)
+class JobRetryEvent(TelemetryEvent):
+    """The sweep executor re-queued a failed cell attempt.
+
+    Emitted on the *parent* bus (host-side, so ``time_ns`` is always
+    ``0.0`` — retries have no simulated timestamp): ``attempt`` is the
+    attempt about to run, ``reason`` the failure kind of the one that
+    died (``crash`` | ``timeout`` | ``error``).  See docs/RUNTIME.md.
+    """
+
+    kind: ClassVar[str] = "job_retry"
+
+    design: str
+    workload: str
+    attempt: int
+    reason: str
+
+
 #: ``kind`` tag -> event class, for deserialisation.
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.kind: cls
@@ -141,6 +159,7 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         WritebackEvent,
         PageFaultEvent,
         EpochSample,
+        JobRetryEvent,
     )
 }
 
@@ -159,6 +178,7 @@ __all__ = [
     "EVENT_TYPES",
     "EpochSample",
     "IsaAllocEvent",
+    "JobRetryEvent",
     "ModeTransition",
     "PageFaultEvent",
     "SWAP_REASONS",

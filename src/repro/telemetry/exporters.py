@@ -30,6 +30,7 @@ _KIND_TIDS = {
     "writeback": 4,
     "page_fault": 5,
     "epoch_sample": 6,
+    "job_retry": 7,
 }
 
 

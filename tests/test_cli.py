@@ -106,6 +106,46 @@ class TestRuntimeFlags:
         assert "Chameleon/mcf" in err or "Chameleon-Opt/mcf" in err
 
 
+class TestFaultToleranceFlags:
+    def test_retries_and_timeout_flags_accepted(self, capsys, tmp_path):
+        code = main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache",
+             "--retries", "1", "--timeout", "120",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[runtime]" in err
+        assert "retries=0" in err  # tolerance armed, nothing failed
+
+    def test_env_fault_plan_drives_the_cli(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,error=1,retries=2")
+        code = main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # The injected transient error was absorbed by one retry and
+        # the figure still rendered.
+        assert "Figure 16" in captured.out
+        assert "retries=1" in captured.err
+
+    def test_resume_flag_completes_and_discards_journal(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            ["fig16", *SMOKE_FLAGS, "--resume",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "resumed=0" in capsys.readouterr().err
+        # The sweep completed, so no interrupted-sweep marker remains.
+        assert not list(tmp_path.rglob("sweep-*.jsonl"))
+
+
 class TestCacheSubcommand:
     def test_info_empty(self, capsys, tmp_path):
         assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0

@@ -1,12 +1,18 @@
 """The persistent result cache: hit/miss accounting, cross-process
-persistence, version invalidation, eviction, maintenance."""
+persistence, version invalidation, corruption tolerance, eviction,
+maintenance."""
 
 import json
 
 import pytest
 
 from repro.experiments import Scale
-from repro.runtime import ResultCache, default_cache_dir, simulate_cell
+from repro.runtime import (
+    ResultCache,
+    corrupt_cache_entry,
+    default_cache_dir,
+    simulate_cell,
+)
 
 TINY_SCALE = Scale(
     fast_mb=1.0,
@@ -87,6 +93,89 @@ class TestInvalidation:
         payload["result"]["schema"] = 999
         path.write_text(json.dumps(payload))
         assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+        assert not path.exists()
+        assert cache.stats.corrupt == 1
+
+
+class TestCorruptionTolerance:
+    """Every flavour of damaged entry is a silent miss — evicted and
+    counted, never an exception out of ``get``."""
+
+    def _corrupt_get(self, tmp_path, result, damage):
+        cache = ResultCache(tmp_path)
+        path = cache.put(TINY_SCALE, "PoM", "mcf", result)
+        damage(path)
+        got = cache.get(TINY_SCALE, "PoM", "mcf")
+        return cache, path, got
+
+    def test_truncated_entry(self, tmp_path, result):
+        cache, path, got = self._corrupt_get(
+            tmp_path,
+            result,
+            lambda p: p.write_bytes(p.read_bytes()[: p.stat().st_size // 2]),
+        )
+        assert got is None
+        assert not path.exists()
+        assert cache.stats.corrupt == 1
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_empty_entry(self, tmp_path, result):
+        cache, path, got = self._corrupt_get(
+            tmp_path, result, lambda p: p.write_bytes(b"")
+        )
+        assert got is None and not path.exists()
+        assert cache.stats.corrupt == 1
+
+    def test_binary_garbage_entry(self, tmp_path, result):
+        cache, path, got = self._corrupt_get(
+            tmp_path, result, lambda p: p.write_bytes(b"\x80\x81\xfe\xff" * 64)
+        )
+        assert got is None and not path.exists()
+        assert cache.stats.corrupt == 1
+
+    def test_valid_json_wrong_shape(self, tmp_path, result):
+        cache, path, got = self._corrupt_get(
+            tmp_path, result, lambda p: p.write_text('[1, 2, "not a cell"]')
+        )
+        assert got is None and not path.exists()
+        assert cache.stats.corrupt == 1
+
+    def test_unremovable_entry_is_still_a_miss(self, tmp_path, result):
+        # Swap the entry file for a directory: read fails with OSError
+        # and so does unlink — get() must shrug both off.
+        def damage(p):
+            p.unlink()
+            p.mkdir()
+
+        cache, path, got = self._corrupt_get(tmp_path, result, damage)
+        assert got is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        # Still a miss on the next lookup too, not an error.
+        assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+
+    def test_sweep_recovers_after_one_corruption(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        assert corrupt_cache_entry(cache, TINY_SCALE, "PoM", "mcf")
+        assert cache.get(TINY_SCALE, "PoM", "mcf") is None
+        # Re-store and the cell is servable again.
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+        assert cache.get(TINY_SCALE, "PoM", "mcf") == result
+        assert cache.stats.corrupt == 1
+
+    def test_corrupt_helper_is_noop_on_cold_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not corrupt_cache_entry(cache, TINY_SCALE, "PoM", "mcf")
+
+    def test_entry_path_matches_put(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        expected = cache.entry_path(TINY_SCALE, "PoM", "mcf")
+        assert not expected.exists()
+        assert cache.put(TINY_SCALE, "PoM", "mcf", result) == expected
+        assert expected.exists()
 
 
 class TestEvictionAndMaintenance:

@@ -1,11 +1,25 @@
 """The sweep executor: parallel/serial equivalence, cache integration,
-metrics accounting, and the run_design_sweep rewiring."""
+failure isolation, metrics accounting, and the run_design_sweep
+rewiring.
+
+Cache-exactness tests pass ``faults=None`` so their hit/miss
+assertions stay valid when the whole file runs under an injected
+``$REPRO_FAULTS`` plan (the CI fault matrix); everything else keeps
+the environment plan active on purpose — equivalence and accounting
+must hold *under* injected crashes, hangs, and transient errors.
+"""
 
 import pytest
 
 from repro.experiments import SMOKE_SCALE
 from repro.experiments.runner import clear_sweep_cache, run_design_sweep
-from repro.runtime import ResultCache, SweepExecutor
+from repro.runtime import (
+    FaultPlan,
+    InjectedFault,
+    ResultCache,
+    SweepExecutor,
+    SweepJobError,
+)
 
 DESIGNS = ("PoM", "Chameleon-Opt")
 
@@ -70,17 +84,25 @@ class TestTelemetryCapture:
         log = bus.subscribe(EventLog())
         executor = SweepExecutor(jobs=1, telemetry=bus)
         executor.run(SMOKE_SCALE, ("PoM",))
-        assert log.total == sum(
+        # Host-side retry notifications share the bus but are not part
+        # of any cell's captured stream.
+        cell_events = [e for e in log.events if e.kind != "job_retry"]
+        assert len(cell_events) == sum(
             len(stream) for stream in executor.events.values()
         )
 
     def test_cached_cells_stay_event_free_and_identical(self, tmp_path):
         from repro.telemetry import EventBus
 
-        cold = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        cold = SweepExecutor(
+            jobs=1, cache=ResultCache(tmp_path), faults=None
+        )
         first = cold.run(SMOKE_SCALE, ("PoM",))
         warm = SweepExecutor(
-            jobs=1, cache=ResultCache(tmp_path), telemetry=EventBus()
+            jobs=1,
+            cache=ResultCache(tmp_path),
+            telemetry=EventBus(),
+            faults=None,
         )
         second = warm.run(SMOKE_SCALE, ("PoM",))
         # Warm-cache replay is bit-identical to the traced-off run and
@@ -102,12 +124,16 @@ class TestTelemetryCapture:
 
 class TestCacheIntegration:
     def test_warm_cache_serves_without_simulating(self, tmp_path):
-        cold = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        cold = SweepExecutor(
+            jobs=2, cache=ResultCache(tmp_path), faults=None
+        )
         first = cold.run(SMOKE_SCALE, DESIGNS)
         assert cold.metrics.simulated == len(first)
         assert cold.metrics.disk_hits == 0
 
-        warm = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        warm = SweepExecutor(
+            jobs=2, cache=ResultCache(tmp_path), faults=None
+        )
         second = warm.run(SMOKE_SCALE, DESIGNS)
         assert warm.metrics.simulated == 0
         assert warm.metrics.disk_hits == len(second)
@@ -116,12 +142,56 @@ class TestCacheIntegration:
 
     def test_partial_cache_simulates_only_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
-        SweepExecutor(cache=cache).run(SMOKE_SCALE, ("PoM",))
-        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        SweepExecutor(cache=cache, faults=None).run(SMOKE_SCALE, ("PoM",))
+        executor = SweepExecutor(cache=ResultCache(tmp_path), faults=None)
         executor.run(SMOKE_SCALE, DESIGNS)
         n_workloads = len(SMOKE_SCALE.benchmarks)
         assert executor.metrics.disk_hits == n_workloads
         assert executor.metrics.simulated == n_workloads
+
+
+class TestFailureIsolation:
+    """A failing job surfaces as SweepJobError naming exactly which
+    (design, workload) cell died — never a bare pool exception."""
+
+    def test_serial_failure_carries_job_context(self):
+        plan = FaultPlan(seed=0, errors=1)
+        executor = SweepExecutor(
+            jobs=1, retries=0, faults=plan, backoff=0.0
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            executor.run(SMOKE_SCALE, ("PoM",))
+        err = excinfo.value
+        assert err.design == "PoM"
+        assert err.workload in SMOKE_SCALE.benchmarks
+        assert err.attempts == 1
+        assert isinstance(err.__cause__, InjectedFault)
+        assert err.design in str(err) and err.workload in str(err)
+
+    def test_pooled_failure_carries_job_context(self):
+        plan = FaultPlan(seed=0, errors=1)
+        executor = SweepExecutor(
+            jobs=2, retries=0, faults=plan, backoff=0.0
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            executor.run(SMOKE_SCALE, ("PoM",))
+        err = excinfo.value
+        assert (err.design, err.workload) in [
+            ("PoM", w) for w in SMOKE_SCALE.benchmarks
+        ]
+        assert executor.metrics.errors == 1
+
+    def test_crash_is_isolated_and_retried(self):
+        plan = FaultPlan(seed=1, crashes=1)
+        executor = SweepExecutor(
+            jobs=2, retries=1, faults=plan, backoff=0.0
+        )
+        results = executor.run(SMOKE_SCALE, ("PoM",))
+        # The dead worker cost one retry of its own job; every other
+        # cell completed untouched.
+        assert len(results) == len(SMOKE_SCALE.benchmarks)
+        assert executor.metrics.crashes == 1
+        assert executor.metrics.retries == 1
 
 
 class TestMetrics:
@@ -182,10 +252,10 @@ class TestRunDesignSweepRewiring:
 
     def test_disk_cache_refills_after_memo_clear(self, tmp_path):
         clear_sweep_cache()
-        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        executor = SweepExecutor(cache=ResultCache(tmp_path), faults=None)
         run_design_sweep(SMOKE_SCALE, ("PoM",), executor=executor)
         clear_sweep_cache()
-        warm = SweepExecutor(cache=ResultCache(tmp_path))
+        warm = SweepExecutor(cache=ResultCache(tmp_path), faults=None)
         run_design_sweep(SMOKE_SCALE, ("PoM",), executor=warm)
         assert warm.metrics.simulated == 0
         assert warm.metrics.disk_hits == len(SMOKE_SCALE.benchmarks)

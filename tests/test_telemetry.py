@@ -16,6 +16,7 @@ from repro.telemetry import (
     InvariantAuditor,
     InvariantViolation,
     IsaAllocEvent,
+    JobRetryEvent,
     ModeTransition,
     PageFaultEvent,
     SegmentSwap,
@@ -76,6 +77,8 @@ class TestEventWireFormat:
         PageFaultEvent(5.0, page=123, major=False),
         EpochSample(6.0, epoch=1, accesses=100.0, fast_hits=60.0,
                     swaps=3.0, faults=1.0),
+        JobRetryEvent(0.0, design="PoM", workload="mcf", attempt=2,
+                      reason="crash"),
     ]
 
     @pytest.mark.parametrize("event", EVENTS, ids=lambda e: e.kind)
