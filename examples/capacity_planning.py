@@ -12,13 +12,35 @@ Run:
     python examples/capacity_planning.py
 """
 
-from repro.config import GB
-from repro.experiments.longrun_figures import (
-    CAPACITIES_GB,
-    FIG4_WORKLOADS,
-    longrun_spec,
+from repro.api import (
+    GB,
+    LongRunSimulator,
+    WorkloadSpec,
+    benchmark,
+    improvement_percent,
 )
-from repro.osmodel.longrun import LongRunSimulator, improvement_percent
+
+#: The 12 workloads on Figure 4's X axis.
+FIG4_WORKLOADS = (
+    "bwaves", "leslie3d", "GemsFDTD", "lbm", "mcf", "hpccg",
+    "SP", "stream", "cloverleaf", "comd", "miniFE", "cactusADM",
+)
+
+#: Capacities swept in Figures 4 and 5 (GB).
+CAPACITIES_GB = (16, 18, 20, 22, 24, 26, 28)
+
+
+def longrun_spec(name: str, base_seconds: float = 3600.0) -> WorkloadSpec:
+    """A long-run spec from the Table II catalogue: the page-touch
+    rate scales with memory intensity (LLC-MPKI)."""
+    spec = benchmark(name)
+    return WorkloadSpec(
+        name=name,
+        footprint_bytes=int(spec.footprint_gb * GB),
+        base_seconds=base_seconds,
+        page_touch_rate=4.0e5 + 2.0e4 * spec.llc_mpki,
+        locality=0.6,
+    )
 
 
 def main() -> None:

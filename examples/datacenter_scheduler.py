@@ -22,17 +22,15 @@ Run:
 from dataclasses import dataclass
 from typing import List
 
-from repro import (
-    AlloyCache,
-    ChameleonOptArchitecture,
-    PoMArchitecture,
-    benchmark,
+from repro.api import (
+    MB,
+    LongRunSimulator,
+    WorkloadSpec,
+    build_design,
     build_workload,
     scaled_config,
     simulate,
 )
-from repro.config import MB
-from repro.osmodel.longrun import LongRunSimulator, WorkloadSpec
 
 
 @dataclass
@@ -103,15 +101,15 @@ def main() -> None:
     print("\n== 3. a lightly loaded phase (free space as cache) ==")
     # Only half the memory is allocated: Chameleon harvests the rest.
     workload = build_workload(
-        config, benchmark("bwaves"), footprint_override_fraction=0.5
+        "bwaves", config=config, footprint_override_fraction=0.5
     )
-    for arch in (
-        AlloyCache(config),
-        PoMArchitecture(config),
-        ChameleonOptArchitecture(config),
-    ):
+    for label in ("Alloy-Cache", "PoM", "Chameleon-Opt"):
+        arch = build_design(label, config)
         result = simulate(
-            arch, workload, accesses_per_core=1500, warmup_per_core=1500
+            design=arch,
+            workload=workload,
+            accesses_per_core=1500,
+            warmup_per_core=1500,
         )
         cache = (
             f", {result.cache_mode_fraction:.0%} groups caching"

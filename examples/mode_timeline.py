@@ -19,22 +19,23 @@ Run:
 
 from collections import Counter
 
-from repro import (
-    ChameleonOptArchitecture,
-    benchmark,
+from repro.api import (
+    EventBus,
+    EventLog,
+    TimelineRecorder,
+    build_design,
     build_workload,
     scaled_config,
     simulate,
 )
-from repro.telemetry import EventBus, EventLog, TimelineRecorder
 
 
 def phase(label, arch, log, workload=None, accesses=1200):
     """Run one phase, then report it from the drained event stream."""
     if workload is not None:
         result = simulate(
-            arch,
-            workload,
+            design=arch,
+            workload=workload,
             accesses_per_core=accesses,
             warmup_per_core=0,
             apply_isa=False,  # allocations are driven explicitly below
@@ -67,7 +68,7 @@ def phase(label, arch, log, workload=None, accesses=1200):
 
 def main() -> None:
     config = scaled_config(fast_mb=4.0)
-    arch = ChameleonOptArchitecture(config)
+    arch = build_design("Chameleon-Opt", config)
 
     # One bus, three consumers: the raw log (drained per phase), the
     # epoch timeline, and the architecture itself as emitter — wired
@@ -80,11 +81,11 @@ def main() -> None:
     # Two co-resident tenants with different lifetimes and disjoint
     # physical footprints.
     tenant_a = build_workload(
-        config, benchmark("bwaves"), footprint_override_fraction=0.45, seed=1
+        "bwaves", config=config, footprint_override_fraction=0.45, seed=1
     )
     tenant_b = build_workload(
-        config,
-        benchmark("GemsFDTD"),
+        "GemsFDTD",
+        config=config,
         footprint_override_fraction=0.45,
         seed=2,
         exclude_segments=set(tenant_a.segments),

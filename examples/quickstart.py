@@ -4,27 +4,20 @@
 Builds the paper's evaluated system at laptop scale (every Table I
 ratio preserved), places a 12-copy rate-mode `mcf` workload on it, and
 compares the Part-of-Memory baseline, Chameleon, and Chameleon-Opt —
-the Section VI-B experiment in miniature.
+the Section VI-B experiment in miniature, written entirely against the
+stable :mod:`repro.api` facade (docs/API.md).
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    ChameleonArchitecture,
-    ChameleonOptArchitecture,
-    PoMArchitecture,
-    benchmark,
-    build_workload,
-    scaled_config,
-    simulate,
-)
+from repro import api
 
 
 def main() -> None:
     # The paper's system, proportionally scaled: 4MB stacked DRAM +
     # 20MB off-chip DRAM, 2KB segments, 1:5 capacity ratio.
-    config = scaled_config(fast_mb=4.0)
+    config = api.scaled_config(fast_mb=4.0)
     print(
         f"system: {config.fast_mem.capacity_bytes >> 20}MB stacked + "
         f"{config.slow_mem.capacity_bytes >> 20}MB off-chip, "
@@ -35,25 +28,24 @@ def main() -> None:
     # A Table II workload: 12 copies of mcf (59.8 LLC-MPKI, 19.65GB
     # footprint on the paper's 24GB machine), scattered over physical
     # memory like a long-running system would.
-    workload = build_workload(config, benchmark("mcf"))
+    workload = api.build_workload("mcf", config=config)
     print(
         f"workload: {workload.name} x{workload.num_copies}, "
         f"footprint {workload.footprint_bytes >> 20}MB "
         f"({workload.occupancy:.0%} of OS-visible memory)\n"
     )
 
-    designs = [
-        PoMArchitecture(config),
-        ChameleonArchitecture(config),
-        ChameleonOptArchitecture(config),
-    ]
     print(
         f"{'design':<16} {'stacked hit':>12} {'geomean IPC':>12} "
         f"{'swaps':>8} {'AMAT [ns]':>10} {'cache-mode':>11}"
     )
-    for design in designs:
-        result = simulate(
-            design, workload, accesses_per_core=2000, warmup_per_core=2000
+    for label in ("PoM", "Chameleon", "Chameleon-Opt"):
+        result = api.simulate(
+            design=label,
+            workload=workload,
+            config=config,
+            accesses_per_core=2000,
+            warmup_per_core=2000,
         )
         cache_fraction = (
             f"{result.cache_mode_fraction:.1%}"
@@ -61,7 +53,7 @@ def main() -> None:
             else "-"
         )
         print(
-            f"{design.name:<16} {result.fast_hit_rate:>11.1%} "
+            f"{label:<16} {result.fast_hit_rate:>11.1%} "
             f"{result.geomean_ipc:>12.4f} {result.swaps:>8.0f} "
             f"{result.average_latency_ns:>10.0f} {cache_fraction:>11}"
         )

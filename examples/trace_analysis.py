@@ -11,6 +11,8 @@ Shows the substrate pipeline underneath the experiments:
 4. replay a sharing-heavy variant through the MESI-coherent hierarchy
    and count the coherence traffic rate-mode workloads avoid.
 
+Everything imports from the stable :mod:`repro.api` facade.
+
 Run:
     python examples/trace_analysis.py
 """
@@ -18,17 +20,22 @@ Run:
 import tempfile
 from pathlib import Path
 
-from repro.cachesim import CacheHierarchy, CoherentHierarchy
-from repro.config import scaled_config
-from repro.trace import read_trace, write_trace
-from repro.trace.stats import characterize
-from repro.workloads import benchmark, build_workload
+from repro.api import (
+    CacheHierarchy,
+    CoherentHierarchy,
+    benchmark,
+    build_workload,
+    characterize,
+    read_trace,
+    scaled_config,
+    write_trace,
+)
 
 
 def main() -> None:
     config = scaled_config()
     spec = benchmark("GemsFDTD")
-    workload = build_workload(config, spec)
+    workload = build_workload(spec, config=config)
 
     # 1. Synthesise and characterise.
     records = list(workload.generators()[0].stream(20_000))

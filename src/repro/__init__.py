@@ -7,18 +7,22 @@ Part-of-Memory mode (maximum OS-visible capacity) and cache mode
 cache), driven by two new ISA instructions the OS issues from its page
 allocator.
 
-Quickstart::
+Quickstart — the stable facade is :mod:`repro.api` (see docs/API.md
+for the full surface and the compatibility policy)::
 
-    from repro import (
-        build_workload, benchmark, simulate,
-        ChameleonOptArchitecture, scaled_config,
+    from repro import api
+
+    result = api.simulate(
+        design="Chameleon-Opt", workload="mcf",
+        accesses_per_core=20_000,
     )
-
-    config = scaled_config()              # paper ratios, laptop scale
-    workload = build_workload(config, benchmark("mcf"))
-    arch = ChameleonOptArchitecture(config)
-    result = simulate(arch, workload, accesses_per_core=20_000)
     print(result.fast_hit_rate, result.geomean_ipc)
+
+    outcome = api.sweep(designs=("PoM", "Chameleon-Opt"), jobs=4)
+    print(outcome.metrics.summary())
+
+The flat re-exports below (``repro.simulate``, ``repro.build_workload``
+...) remain for existing code; new code should prefer ``repro.api``.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
@@ -74,9 +78,11 @@ from repro.dram import system_energy
 from repro.osmodel import BufferCache, MemoryBoundScheduler
 from repro.trace.stats import characterize
 
-__version__ = "1.2.0"
+from repro._version import __version__
+from repro import api
 
 __all__ = [
+    "api",
     "GB",
     "KB",
     "MB",

@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Lives in its own module so low-level consumers (the result cache and
+the trace arena key their content by version; :mod:`repro.api` reports
+it) can import the string without importing the whole :mod:`repro`
+namespace.
+"""
+
+__version__ = "1.3.0"

@@ -24,6 +24,11 @@ Sweep execution goes through :mod:`repro.runtime`:
     Disable the disk cache for this invocation.
 ``--progress``
     Print one stderr line per completed sweep cell.
+``--arena`` / ``--no-arena``
+    Publish the workload grid's precompiled traces once into a
+    shared-memory arena that every worker attaches zero-copy (default
+    on; results are bit-identical either way — the ``[runtime]``
+    trailer's ``arena-bytes=``/``arena-hits=`` fields show it working).
 
 Fault tolerance (see docs/RUNTIME.md):
 
@@ -264,6 +269,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-cell progress to stderr",
     )
+    parser.add_argument(
+        "--arena",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "publish a shared-memory trace arena so sweep workers "
+            "attach precompiled traces instead of regenerating them "
+            "(results are identical either way; --no-arena disables)"
+        ),
+    )
     def positive_float(text: str) -> float:
         value = float(text)
         if value <= 0:
@@ -371,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         timeout=args.timeout,
         retries=args.retries,
         journal_dir=cache_dir if args.resume else None,
+        arena=args.arena,
     )
     scale = dataclasses.replace(
         DEFAULT_SCALE,

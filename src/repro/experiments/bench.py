@@ -13,7 +13,10 @@ The numbers answer three questions:
 * is the batched kernel still exact (``parity`` per design — byte-equal
   :meth:`~repro.sim.SimulationResult.to_dict` plus an identical
   telemetry event stream against the scalar reference);
-* what does a user-visible sweep cost (``figures`` wall seconds).
+* what does a user-visible sweep cost (``figures`` wall seconds);
+* what does the shared-memory trace arena save (``sweep_setup`` —
+  per-cell workload prep with the arena off vs on at fig15 smoke
+  scale, plus an arena-on/off whole-sweep parity bit).
 """
 
 from __future__ import annotations
@@ -32,7 +35,8 @@ from repro.telemetry.recorder import EventLog
 from repro.workloads import benchmark, build_workload
 
 #: Wire-format version of ``BENCH_kernel.json``.
-BENCH_SCHEMA_VERSION = 1
+#: 2: added the ``sweep_setup`` arena section.
+BENCH_SCHEMA_VERSION = 2
 
 #: Default output path of the ``bench`` subcommand.
 DEFAULT_BENCH_OUT = "BENCH_kernel.json"
@@ -131,6 +135,84 @@ def _figure_wall_seconds(scale: Scale) -> Dict[str, float]:
     return seconds
 
 
+def _sweep_setup_bench(scale: Scale, repeats: int) -> Dict[str, Any]:
+    """Arena economics at ``scale``: what one sweep cell pays to get
+    its workload trace with the arena off (synthesise from the spec)
+    vs on (attach the parent's precompiled columns), plus the one-off
+    publish cost and an arena-on/off whole-sweep parity check."""
+    from repro.runtime import SweepExecutor
+    from repro.runtime.arena import TraceArena, attach_arena
+    from repro.workloads import build_workload as _build
+    from repro.workloads.compiled import compile_trace
+
+    names = list(scale.benchmarks)
+    total = scale.warmup_per_core + scale.accesses_per_core
+    config = scale.config()
+
+    def generate_all() -> float:
+        start = time.perf_counter()
+        for name in names:
+            workload = _build(
+                config,
+                benchmark(name),
+                num_copies=scale.num_copies,
+                seed=scale.seed,
+            )
+            compile_trace(workload, total)
+        return time.perf_counter() - start
+
+    generate_seconds = min(generate_all() for _ in range(repeats))
+
+    publish_start = time.perf_counter()
+    arena = TraceArena.publish(scale, names)
+    publish_seconds = time.perf_counter() - publish_start
+    if arena is None:  # no /dev/shm — report generation cost only
+        return {
+            "available": False,
+            "per_cell_prep_off_ms": round(
+                generate_seconds / len(names) * 1e3, 3
+            ),
+        }
+    try:
+        def attach_all() -> float:
+            start = time.perf_counter()
+            view = attach_arena(arena.manifest)
+            try:
+                for name in names:
+                    view.trace(name)
+            finally:
+                view.close()
+            return time.perf_counter() - start
+
+        attach_seconds = min(attach_all() for _ in range(repeats))
+    finally:
+        arena_bytes = arena.nbytes
+        arena.dispose()
+
+    def fig15_sweep(use_arena: bool) -> str:
+        executor = SweepExecutor(jobs=1, cache=None, arena=use_arena)
+        results = executor.run(scale, BENCH_DESIGNS)
+        return json.dumps(
+            {
+                f"{d}/{w}": r.to_dict()
+                for (d, w), r in sorted(results.items())
+            },
+            sort_keys=True,
+        )
+
+    per_cell_off = generate_seconds / len(names)
+    per_cell_on = attach_seconds / len(names)
+    return {
+        "available": True,
+        "arena_bytes": arena_bytes,
+        "publish_seconds": round(publish_seconds, 4),
+        "per_cell_prep_off_ms": round(per_cell_off * 1e3, 3),
+        "per_cell_prep_on_ms": round(per_cell_on * 1e3, 3),
+        "prep_speedup": round(per_cell_off / max(per_cell_on, 1e-9), 1),
+        "parity": fig15_sweep(True) == fig15_sweep(False),
+    }
+
+
 def run_kernel_bench(
     scale: Scale = BENCH_SCALE,
     figure_scale: Scale = SMOKE_SCALE,
@@ -158,6 +240,7 @@ def run_kernel_bench(
             name: round(seconds, 3)
             for name, seconds in _figure_wall_seconds(figure_scale).items()
         },
+        "sweep_setup": _sweep_setup_bench(figure_scale, repeats),
     }
 
 
@@ -177,6 +260,19 @@ def run_bench_command(
         )
     for name, seconds in payload["figures"].items():
         print(f"  {name} smoke sweep: {seconds:.2f}s")
+    setup = payload["sweep_setup"]
+    if setup["available"]:
+        print(
+            f"  sweep setup: per-cell prep "
+            f"{setup['per_cell_prep_off_ms']:.1f}ms -> "
+            f"{setup['per_cell_prep_on_ms']:.2f}ms with arena "
+            f"({setup['prep_speedup']:.0f}x, "
+            f"{setup['arena_bytes']:,} bytes shared, publish "
+            f"{setup['publish_seconds'] * 1e3:.0f}ms) "
+            f"parity={'OK' if setup['parity'] else 'FAIL'}"
+        )
+    else:
+        print("  sweep setup: shared memory unavailable, arena skipped")
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -189,5 +285,8 @@ def run_bench_command(
             f"kernel parity FAILED for: {', '.join(failures)}",
             file=sys.stderr,
         )
+        return 1
+    if setup["available"] and not setup["parity"]:
+        print("arena sweep parity FAILED", file=sys.stderr)
         return 1
     return 0

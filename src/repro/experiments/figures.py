@@ -15,13 +15,15 @@ from repro.experiments.runner import (
 from repro.runtime import SweepExecutor
 from repro.stats import geomean
 
-#: The four designs of Figures 15-17 and 19.
-HW_DESIGNS = REGISTRY.figure_labels("fig15")
+#: The four designs of Figures 15-17 and 19.  Private on purpose: the
+#: public way to enumerate designs is :data:`REGISTRY` (or
+#: :func:`repro.api.designs`), not module constants.
+_HW_LABELS = REGISTRY.figure_labels("fig15")
 
 #: Per-figure design line-ups, in plot order (see designs.py).
-FIG18_DESIGNS = REGISTRY.figure_labels("fig18")
-FIG20_DESIGNS = REGISTRY.figure_labels("fig20")
-FIG22_DESIGNS = REGISTRY.figure_labels("fig22")
+_FIG18_LABELS = REGISTRY.figure_labels("fig18")
+_FIG20_LABELS = REGISTRY.figure_labels("fig20")
+_FIG22_LABELS = REGISTRY.figure_labels("fig22")
 
 
 @dataclass
@@ -53,15 +55,15 @@ def run_fig15(
 
     Paper averages: Alloy 62.4%, PoM 81%, Chameleon 84.6%, Opt 89.4%.
     """
-    results = run_design_sweep(scale, HW_DESIGNS, executor=executor)
-    headers = ["workload"] + [d for d in HW_DESIGNS]
+    results = run_design_sweep(scale, _HW_LABELS, executor=executor)
+    headers = ["workload"] + [d for d in _HW_LABELS]
     rows = []
     for name in scale.benchmarks:
         rows.append(
             [name]
             + [
                 results[(design, name)].fast_hit_rate * 100.0
-                for design in HW_DESIGNS
+                for design in _HW_LABELS
             ]
         )
     summary = {
@@ -69,9 +71,9 @@ def run_fig15(
             results[(design, name)].fast_hit_rate * 100.0
             for name in scale.benchmarks
         )
-        for design in HW_DESIGNS
+        for design in _HW_LABELS
     }
-    rows.append(["Average"] + [summary[d] for d in HW_DESIGNS])
+    rows.append(["Average"] + [summary[d] for d in _HW_LABELS])
     return FigureResult(
         "Figure 15: Stacked DRAM hit rate [%]", headers, rows, summary
     )
@@ -161,8 +163,8 @@ def run_fig18(
     Paper geomeans vs that baseline: 24GB +35.6%, PoM +85.2%,
     Chameleon +96.8%, Chameleon-Opt +106.3%.
     """
-    results = run_design_sweep(scale, FIG18_DESIGNS, executor=executor)
-    headers = ["workload"] + list(FIG18_DESIGNS)
+    results = run_design_sweep(scale, _FIG18_LABELS, executor=executor)
+    headers = ["workload"] + list(_FIG18_LABELS)
     rows = []
     for name in scale.benchmarks:
         base = results[("baseline_20GB_DDR3", name)].geomean_ipc
@@ -170,13 +172,13 @@ def run_fig18(
             [name]
             + [
                 results[(design, name)].geomean_ipc / base
-                for design in FIG18_DESIGNS
+                for design in _FIG18_LABELS
             ]
         )
-    means = geomean_by_design(results, FIG18_DESIGNS, scale.benchmarks)
+    means = geomean_by_design(results, _FIG18_LABELS, scale.benchmarks)
     base = means["baseline_20GB_DDR3"]
-    summary = {design: means[design] / base for design in FIG18_DESIGNS}
-    rows.append(["GeoMean"] + [summary[d] for d in FIG18_DESIGNS])
+    summary = {design: means[design] / base for design in _FIG18_LABELS}
+    rows.append(["GeoMean"] + [summary[d] for d in _FIG18_LABELS])
     return FigureResult(
         "Figure 18: IPC normalised to baseline_20GB_DDR3",
         headers,
@@ -240,8 +242,8 @@ def run_fig20(
     Paper: Chameleon +28.7%/+19.1% over first-touch/AutoNUMA;
     Chameleon-Opt +34.8%/+24.9%.
     """
-    results = run_design_sweep(scale, FIG20_DESIGNS, executor=executor)
-    headers = ["workload"] + list(FIG20_DESIGNS)
+    results = run_design_sweep(scale, _FIG20_LABELS, executor=executor)
+    headers = ["workload"] + list(_FIG20_LABELS)
     rows = []
     for name in scale.benchmarks:
         base = results[("baseline_20GB_DDR3", name)].geomean_ipc
@@ -249,13 +251,13 @@ def run_fig20(
             [name]
             + [
                 results[(design, name)].geomean_ipc / base
-                for design in FIG20_DESIGNS
+                for design in _FIG20_LABELS
             ]
         )
-    means = geomean_by_design(results, FIG20_DESIGNS, scale.benchmarks)
+    means = geomean_by_design(results, _FIG20_LABELS, scale.benchmarks)
     base = means["baseline_20GB_DDR3"]
-    summary = {design: means[design] / base for design in FIG20_DESIGNS}
-    rows.append(["GeoMean"] + [summary[d] for d in FIG20_DESIGNS])
+    summary = {design: means[design] / base for design in _FIG20_LABELS}
+    rows.append(["GeoMean"] + [summary[d] for d in _FIG20_LABELS])
     return FigureResult(
         "Figure 20: IPC vs OS-based solutions (normalised)",
         headers,
@@ -357,8 +359,8 @@ def run_fig22(
 
     Paper: Chameleon +10.5%, Chameleon-Opt +15.8% over Polymorphic.
     """
-    results = run_design_sweep(scale, FIG22_DESIGNS, executor=executor)
-    headers = ["workload"] + list(FIG22_DESIGNS)
+    results = run_design_sweep(scale, _FIG22_LABELS, executor=executor)
+    headers = ["workload"] + list(_FIG22_LABELS)
     rows = []
     for name in scale.benchmarks:
         base = results[("baseline_20GB_DDR3", name)].geomean_ipc
@@ -366,12 +368,12 @@ def run_fig22(
             [name]
             + [
                 results[(design, name)].geomean_ipc / base
-                for design in FIG22_DESIGNS
+                for design in _FIG22_LABELS
             ]
         )
-    means = geomean_by_design(results, FIG22_DESIGNS, scale.benchmarks)
+    means = geomean_by_design(results, _FIG22_LABELS, scale.benchmarks)
     base = means["baseline_20GB_DDR3"]
-    summary = {design: means[design] / base for design in FIG22_DESIGNS}
+    summary = {design: means[design] / base for design in _FIG22_LABELS}
     summary["cham_vs_poly_percent"] = (
         means["Chameleon"] / means["Polymorphic"] - 1.0
     ) * 100.0
@@ -379,7 +381,7 @@ def run_fig22(
         means["Chameleon-Opt"] / means["Polymorphic"] - 1.0
     ) * 100.0
     rows.append(
-        ["GeoMean"] + [summary[d] for d in FIG22_DESIGNS]
+        ["GeoMean"] + [summary[d] for d in _FIG22_LABELS]
     )
     return FigureResult(
         "Figure 22: Polymorphic Memory comparison (normalised IPC)",

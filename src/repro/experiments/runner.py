@@ -11,19 +11,19 @@ executor with an optional persistent result cache — plus a
 process-local memo so the five main-results figures (15-19) share one
 sweep.
 
-The design registry lives in :mod:`repro.experiments.designs`; the old
-``DESIGNS`` dict and ``FIG18_DESIGNS``/``FIG20_DESIGNS``/
-``FIG22_DESIGNS`` tuples still import from here as deprecated aliases.
+The design registry lives in :mod:`repro.experiments.designs`; the
+pre-registry ``DESIGNS`` dict and per-figure tuple aliases completed
+their deprecation cycle and were removed in 1.3.0 — enumerate designs
+via :func:`repro.api.designs` or ``REGISTRY`` directly.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MB, SystemConfig, offchip_dram, stacked_dram
-from repro.experiments.designs import REGISTRY, DesignFactory
+from repro.experiments.designs import REGISTRY
 from repro.runtime import SweepExecutor, SweepResults, get_default_executor
 from repro.workloads import benchmark_names
 
@@ -143,54 +143,3 @@ def geomean_by_design(
         )
         for design in designs
     }
-
-
-# ----------------------------------------------------------------------
-# Deprecated aliases (one release): the registry replaced these
-# ----------------------------------------------------------------------
-
-def _deprecated_designs() -> Dict[str, DesignFactory]:
-    return REGISTRY.factories()
-
-
-_DEPRECATED = {
-    "DESIGNS": (_deprecated_designs, "repro.experiments.designs.REGISTRY"),
-    "FIG18_DESIGNS": (
-        lambda: REGISTRY.figure_labels("fig18"),
-        'REGISTRY.figure_labels("fig18")',
-    ),
-    "FIG20_DESIGNS": (
-        lambda: REGISTRY.figure_labels("fig20"),
-        'REGISTRY.figure_labels("fig20")',
-    ),
-    "FIG22_DESIGNS": (
-        lambda: REGISTRY.figure_labels("fig22"),
-        'REGISTRY.figure_labels("fig22")',
-    ),
-}
-
-#: Aliases that have already warned this process.  Library code that
-#: legitimately re-exports an alias (star-imports, figure modules
-#: touched in one run) would otherwise spam one warning per access;
-#: the deprecation is actionable once.  Tests clear this set to assert
-#: the warning itself.
-_warned_aliases: set[str] = set()
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED:
-        build, replacement = _DEPRECATED[name]
-        if name not in _warned_aliases:
-            _warned_aliases.add(name)
-            # stacklevel=2 escapes this __getattr__ frame, so the
-            # warning points at the caller's attribute access.
-            warnings.warn(
-                f"repro.experiments.runner.{name} is deprecated; "
-                f"use {replacement} instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return build()
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}"
-    )

@@ -28,6 +28,17 @@ See docs/RUNTIME.md for the cache-key scheme, the determinism
 guarantee, retry semantics, and the journal format.
 """
 
+from repro.runtime.arena import (
+    ARENA_BUDGET_ENV,
+    ARENA_PREFIX,
+    ARENA_SCHEMA_VERSION,
+    ArenaView,
+    DEFAULT_ARENA_BUDGET,
+    TraceArena,
+    arena_budget,
+    arena_key,
+    attach_arena,
+)
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
 from repro.runtime.cells import simulate_cell, timed_cell
 from repro.runtime.executor import (
@@ -62,8 +73,13 @@ from repro.runtime.metrics import (
 )
 
 __all__ = [
+    "ARENA_BUDGET_ENV",
+    "ARENA_PREFIX",
+    "ARENA_SCHEMA_VERSION",
+    "ArenaView",
     "CacheStats",
     "CellStat",
+    "DEFAULT_ARENA_BUDGET",
     "DEFAULT_DEGRADE_AFTER",
     "DEFAULT_RETRIES",
     "FAULTS_ENV",
@@ -82,8 +98,12 @@ __all__ = [
     "SweepJournal",
     "SweepMetrics",
     "SweepResults",
+    "TraceArena",
     "WorkerCrashError",
     "apply_fault",
+    "arena_budget",
+    "arena_key",
+    "attach_arena",
     "corrupt_cache_entry",
     "default_cache_dir",
     "get_default_executor",

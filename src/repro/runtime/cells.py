@@ -19,14 +19,17 @@ the :class:`SimulationResult` is bit-identical with it on or off.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.runtime.arena import attach_arena
 from repro.runtime.faults import apply_fault
 from repro.sim import SimulationResult, simulate
 from repro.telemetry.auditor import InvariantAuditor
 from repro.telemetry.bus import EventBus
+from repro.telemetry.events import ArenaEvent
 from repro.telemetry.recorder import EventLog
 from repro.workloads import benchmark, build_workload
+from repro.workloads.compiled import CompiledTrace
 
 
 def simulate_cell(
@@ -35,6 +38,7 @@ def simulate_cell(
     workload: str,
     telemetry: EventBus | None = None,
     audit: bool = False,
+    trace: CompiledTrace | None = None,
 ) -> SimulationResult:
     """Simulate one cell from scratch (config, workload, architecture
     all built fresh — nothing is shared between cells).
@@ -43,7 +47,9 @@ def simulate_cell(
     a live :class:`~repro.telemetry.InvariantAuditor` to the cell's
     architecture (on ``telemetry``, or on a private bus when none is
     given), raising :class:`~repro.telemetry.InvariantViolation` the
-    moment an SRRT invariant breaks.
+    moment an SRRT invariant breaks.  ``trace`` replays a precompiled
+    trace (e.g. attached from a shared-memory arena) instead of
+    regenerating — byte-identical either way.
     """
     from repro.experiments.designs import REGISTRY
 
@@ -55,6 +61,8 @@ def simulate_cell(
         num_copies=scale.num_copies,
         seed=scale.seed,
     )
+    if trace is not None:
+        built.attach_trace(trace)
     architecture = spec.factory(config)
     bus = telemetry
     if audit:
@@ -74,8 +82,8 @@ def timed_cell(
     args: Tuple,
 ) -> Tuple[str, str, float, SimulationResult, List[Dict]]:
     """Worker-process entry point: ``(scale, design, workload[,
-    capture, audit[, fault, hang_seconds]])`` in, ``(design, workload,
-    seconds, result, events)`` out.
+    capture, audit[, fault, hang_seconds[, arena]]])`` in, ``(design,
+    workload, seconds, result, events)`` out.
 
     ``events`` is a list of :meth:`TelemetryEvent.to_dict` dicts (events
     themselves carry no pickle guarantee across versions; the dict form
@@ -87,26 +95,71 @@ def timed_cell(
     hangs stall the right attempt.  Fault injection is observational
     with respect to the final sweep: a faulted attempt never produces a
     result, and the retried attempt carries no fault.
+
+    ``arena`` is a :class:`~repro.runtime.arena.TraceArena` manifest;
+    when present the cell attaches read-only views over the shared
+    trace segment and replays instead of regenerating.  A failed attach
+    (segment gone, stale manifest) silently falls back to generation —
+    the records are byte-identical either way.
     """
     if len(args) == 3:
         args = (*args, False, False)
     if len(args) == 5:
         args = (*args, None, 0.0)
-    scale, design, workload, capture, audit, fault, hang_seconds = args
+    if len(args) == 7:
+        args = (*args, None)
+    scale, design, workload, capture, audit, fault, hang_seconds, arena = args
     if fault is not None:
         apply_fault(fault, serial=False, hang_seconds=hang_seconds)
-    start = time.perf_counter()
-    if capture or audit:
-        bus = EventBus()
-        log = bus.subscribe(EventLog())
-        result = simulate_cell(
-            scale, design, workload, telemetry=bus, audit=audit
-        )
-        events = [event.to_dict() for event in log.events] if capture else []
-    else:
-        result = simulate_cell(scale, design, workload)
-        events = []
-    return design, workload, time.perf_counter() - start, result, events
+    view = None
+    trace: Optional[CompiledTrace] = None
+    if arena is not None:
+        try:
+            view = attach_arena(arena)
+            trace = view.trace(workload)
+        except (OSError, KeyError, ValueError):
+            view = None
+            trace = None
+    try:
+        start = time.perf_counter()
+        if capture or audit:
+            bus = EventBus()
+            log = bus.subscribe(EventLog())
+            if capture and trace is not None:
+                bus.emit(
+                    ArenaEvent(
+                        0.0,
+                        action="attach",
+                        segment=str(arena["segment"]),
+                        bytes=int(arena["bytes"]),
+                        workloads=1,
+                    )
+                )
+            result = simulate_cell(
+                scale, design, workload, telemetry=bus, audit=audit,
+                trace=trace,
+            )
+            if capture and trace is not None:
+                bus.emit(
+                    ArenaEvent(
+                        0.0,
+                        action="detach",
+                        segment=str(arena["segment"]),
+                        bytes=int(arena["bytes"]),
+                        workloads=1,
+                    )
+                )
+            events = (
+                [event.to_dict() for event in log.events] if capture else []
+            )
+        else:
+            result = simulate_cell(scale, design, workload, trace=trace)
+            events = []
+        return design, workload, time.perf_counter() - start, result, events
+    finally:
+        if view is not None:
+            trace = None
+            view.close()
 
 
 __all__ = ["simulate_cell", "timed_cell"]

@@ -30,7 +30,12 @@ Fault tolerance (see docs/RUNTIME.md):
 * **deterministic fault injection** — a
   :class:`~repro.runtime.faults.FaultPlan` (or ``$REPRO_FAULTS``)
   injects crashes/hangs/transient errors into workers and corruption
-  into the cache, keeping the whole tolerance surface under test.
+  into the cache, keeping the whole tolerance surface under test;
+* **shared-memory trace arena** — each sweep's workload traces are
+  compiled once by the parent and published read-only via
+  :class:`~repro.runtime.arena.TraceArena`; workers attach zero-copy
+  instead of regenerating (``arena=False`` or an over-budget grid
+  falls back to per-cell generation, byte-identically).
 
 The module-level default executor (serial, no disk cache) is what
 :func:`repro.experiments.runner.run_design_sweep` uses when not handed
@@ -48,6 +53,7 @@ from multiprocessing import connection, get_context
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.runtime.arena import TraceArena
 from repro.runtime.cache import ResultCache
 from repro.runtime.cells import timed_cell
 from repro.runtime.faults import (
@@ -180,6 +186,8 @@ class SweepExecutor:
         degrade_after: int = DEFAULT_DEGRADE_AFTER,
         faults: Optional[FaultPlan | str] = FAULTS_FROM_ENV,
         journal_dir: Optional[Path | str] = None,
+        arena: bool = True,
+        arena_budget: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -215,6 +223,11 @@ class SweepExecutor:
         self.journal_dir = (
             Path(journal_dir) if journal_dir is not None else None
         )
+        #: Publish a shared-memory trace arena per sweep (fall back to
+        #: per-cell generation when shared memory is unavailable or the
+        #: payload exceeds ``arena_budget`` bytes).
+        self.arena = arena
+        self.arena_budget = arena_budget
         self.metrics = SweepMetrics(jobs=jobs)
         #: Backoff jitter only (never touches results): seeded so two
         #: identical faulted runs retry on the same schedule.
@@ -261,6 +274,7 @@ class SweepExecutor:
                 if self.cache is not None:
                     corrupt_cache_entry(self.cache, scale, *cell)
 
+        arena: Optional[TraceArena] = None
         try:
             for design, workload in cells:
                 if (design, workload) in recovered:
@@ -292,8 +306,18 @@ class SweepExecutor:
                 else:
                     pending.append((design, workload))
 
+            if self.arena and pending:
+                arena = TraceArena.publish(
+                    scale,
+                    sorted({workload for _, workload in pending}),
+                    budget=self.arena_budget,
+                )
+                if arena is not None:
+                    self.metrics.record_arena(arena.nbytes)
+            manifest = arena.manifest if arena is not None else None
+
             for design, workload, seconds, result, events in self._execute(
-                scale, pending, fault_map
+                scale, pending, fault_map, manifest
             ):
                 results[(design, workload)] = result
                 if self.cache is not None:
@@ -302,6 +326,8 @@ class SweepExecutor:
                     journal.record(design, workload, seconds, result)
                 if events:
                     self._merge_events(design, workload, events)
+                if manifest is not None:
+                    self.metrics.record_arena_hit()
                 done += 1
                 self._record(
                     CellStat(design, workload, seconds, SOURCE_SIMULATED),
@@ -314,6 +340,12 @@ class SweepExecutor:
             if journal is not None:
                 journal.close()
             raise
+        finally:
+            # The publisher owns the segment: unlink on every exit path
+            # (completion, failure, interrupt) so /dev/shm never leaks —
+            # even when workers were killed mid-attach.
+            if arena is not None:
+                arena.dispose()
 
         if journal is not None:
             journal.discard()  # completed: the journal is obsolete
@@ -342,7 +374,7 @@ class SweepExecutor:
             for event in hydrated:
                 bus.emit(event)
 
-    def _args(self, scale, job: _Job) -> Tuple:
+    def _args(self, scale, job: _Job, manifest: Optional[Dict]) -> Tuple:
         return (
             scale,
             job.design,
@@ -351,6 +383,7 @@ class SweepExecutor:
             self.audit,
             job.fault,
             self._hang_seconds,
+            manifest,
         )
 
     def _execute(
@@ -358,11 +391,13 @@ class SweepExecutor:
         scale,
         pending: Sequence[Tuple[str, str]],
         fault_map: Dict[Tuple[str, str], str],
+        manifest: Optional[Dict] = None,
     ) -> Iterator[CellOutcome]:
         """Yield a :data:`CellOutcome` for each missing cell — inline
         at ``jobs=1``, supervised worker processes otherwise.  Both
-        paths run the same :func:`timed_cell` entry point, so event
-        capture and results are identical at any worker count."""
+        paths run the same :func:`timed_cell` entry point (including
+        arena attachment via ``manifest``), so event capture and
+        results are identical at any worker count."""
         if not pending:
             return
         jobs = deque(
@@ -370,13 +405,15 @@ class SweepExecutor:
             for design, workload in pending
         )
         if self.jobs == 1:
-            yield from self._run_serial(scale, jobs)
+            yield from self._run_serial(scale, jobs, manifest)
         else:
-            yield from self._run_supervised(scale, jobs)
+            yield from self._run_supervised(scale, jobs, manifest)
 
     # -- serial back-end ----------------------------------------------
 
-    def _run_serial(self, scale, jobs: deque) -> Iterator[CellOutcome]:
+    def _run_serial(
+        self, scale, jobs: deque, manifest: Optional[Dict] = None
+    ) -> Iterator[CellOutcome]:
         """Inline execution with the same retry/fault semantics as the
         pool.  Nothing can preempt an inline cell, so the per-job
         timeout is not enforced here (injected hangs convert to
@@ -395,7 +432,7 @@ class SweepExecutor:
                     )
                 outcome = timed_cell(
                     (scale, job.design, job.workload, self._capture,
-                     self.audit)
+                     self.audit, None, 0.0, manifest)
                 )
             except Exception as exc:
                 jobs.appendleft(self._retry(job, exc))
@@ -404,7 +441,9 @@ class SweepExecutor:
 
     # -- supervised pool back-end -------------------------------------
 
-    def _run_supervised(self, scale, jobs: deque) -> Iterator[CellOutcome]:
+    def _run_supervised(
+        self, scale, jobs: deque, manifest: Optional[Dict] = None
+    ) -> Iterator[CellOutcome]:
         """Process-per-attempt supervisor.
 
         Each attempt runs in its own (cheap, forked) worker process
@@ -432,7 +471,7 @@ class SweepExecutor:
                     job = self._pop_ready(jobs, now)
                     if job is None:
                         break
-                    active.append(self._spawn(ctx, scale, job))
+                    active.append(self._spawn(ctx, scale, job, manifest))
                 if not active:
                     # Everything is backing off; sleep to the earliest.
                     soonest = min(job.not_before for job in jobs)
@@ -471,7 +510,7 @@ class SweepExecutor:
             for worker in active:
                 self._kill(worker)
         if jobs:  # degraded: finish the sweep serially inline
-            yield from self._run_serial(scale, jobs)
+            yield from self._run_serial(scale, jobs, manifest)
 
     def _wait_timeout(
         self, active: List[_Worker], jobs: deque, now: float
@@ -497,11 +536,13 @@ class SweepExecutor:
                 return job
         return None
 
-    def _spawn(self, ctx, scale, job: _Job) -> _Worker:
+    def _spawn(
+        self, ctx, scale, job: _Job, manifest: Optional[Dict] = None
+    ) -> _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_cell_worker,
-            args=(child_conn, self._args(scale, job)),
+            args=(child_conn, self._args(scale, job, manifest)),
             daemon=True,
         )
         process.start()

@@ -54,6 +54,10 @@ class SweepMetrics:
     retries: int = 0
     #: The executor gave up on its worker pool and finished serially.
     degraded: bool = False
+    #: Shared-memory trace-arena accounting: payload bytes published
+    #: (across sweeps) and cells dispatched with an arena available.
+    arena_bytes: int = 0
+    arena_hits: int = 0
 
     def record_cell(self, stat: CellStat) -> None:
         self.cells.append(stat)
@@ -73,6 +77,14 @@ class SweepMetrics:
 
     def record_retry(self) -> None:
         self.retries += 1
+
+    def record_arena(self, nbytes: int) -> None:
+        """Count one published trace arena of ``nbytes`` payload."""
+        self.arena_bytes += nbytes
+
+    def record_arena_hit(self) -> None:
+        """Count one cell simulated with a published arena attached."""
+        self.arena_hits += 1
 
     # -- derived -------------------------------------------------------
 
@@ -149,6 +161,11 @@ class SweepMetrics:
             f" crashes={self.crashes}"
             f" resumed={self.resumed}"
         )
+        if self.arena_bytes:
+            line += (
+                f" arena-bytes={self.arena_bytes}"
+                f" arena-hits={self.arena_hits}"
+            )
         if self.degraded:
             line += " degraded=serial"
         return line

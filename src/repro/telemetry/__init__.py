@@ -27,6 +27,8 @@ docs/TELEMETRY.md.
 from repro.telemetry.auditor import InvariantAuditor, InvariantViolation
 from repro.telemetry.bus import NULL_BUS, EventBus, EventHandler, NullBus
 from repro.telemetry.events import (
+    ARENA_ACTIONS,
+    ArenaEvent,
     EVENT_TYPES,
     EpochSample,
     IsaAllocEvent,
@@ -51,6 +53,8 @@ from repro.telemetry.recorder import (
 )
 
 __all__ = [
+    "ARENA_ACTIONS",
+    "ArenaEvent",
     "EVENT_TYPES",
     "EpochSample",
     "EventBus",

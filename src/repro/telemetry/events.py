@@ -149,6 +149,35 @@ class JobRetryEvent(TelemetryEvent):
     reason: str
 
 
+#: ``ArenaEvent.action`` values.
+ARENA_ACTIONS = (
+    "publish",   # parent exported the compiled traces to shared memory
+    "attach",    # a cell attached read-only views over the segment
+    "detach",    # the cell released its attachment
+    "unlink",    # parent destroyed the segment at end of sweep
+)
+
+
+@dataclass(frozen=True)
+class ArenaEvent(TelemetryEvent):
+    """Shared-memory trace-arena lifecycle (host-side, ``time_ns`` 0).
+
+    The parent emits ``publish``/``unlink`` around a sweep; each
+    simulated cell that replays from the arena emits ``attach`` and
+    ``detach`` into its captured stream.  ``action`` is one of
+    :data:`ARENA_ACTIONS`; ``bytes`` is the segment payload size and
+    ``workloads`` the number of compiled traces it holds (1 for
+    cell-side events).
+    """
+
+    kind: ClassVar[str] = "arena"
+
+    action: str
+    segment: str
+    bytes: int = 0
+    workloads: int = 0
+
+
 #: ``kind`` tag -> event class, for deserialisation.
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.kind: cls
@@ -160,6 +189,7 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         PageFaultEvent,
         EpochSample,
         JobRetryEvent,
+        ArenaEvent,
     )
 }
 
@@ -175,6 +205,8 @@ def event_from_dict(data: Mapping[str, Any]) -> TelemetryEvent:
 
 
 __all__ = [
+    "ARENA_ACTIONS",
+    "ArenaEvent",
     "EVENT_TYPES",
     "EpochSample",
     "IsaAllocEvent",

@@ -31,6 +31,7 @@ _KIND_TIDS = {
     "page_fault": 5,
     "epoch_sample": 6,
     "job_retry": 7,
+    "arena": 8,
 }
 
 

@@ -1,11 +1,40 @@
-"""Stream utilities: interleaving per-core traces and bounding them."""
+"""Stream utilities: interleaving per-core traces, bounding them, and
+replaying precompiled column batches."""
 
 from __future__ import annotations
 
 import heapq
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+from repro.trace.batch import RecordBatch
 from repro.trace.records import AccessRecord
+
+
+def replay_batches(
+    batch: RecordBatch, batch_lengths: Sequence[int]
+) -> Iterator[RecordBatch]:
+    """Re-slice a concatenated column run into its original chunks.
+
+    Inverse of :meth:`RecordBatch.concat`: ``batch_lengths`` records the
+    chunk boundaries the generator originally produced, and each yielded
+    chunk is a zero-copy view into ``batch``'s columns — this is how an
+    attached shared-memory arena trace replays without touching the
+    payload.
+    """
+    total = int(sum(batch_lengths))
+    if total != len(batch):
+        raise ValueError(
+            f"batch_lengths sum to {total}, batch holds {len(batch)} records"
+        )
+    start = 0
+    for length in batch_lengths:
+        end = start + int(length)
+        yield RecordBatch(
+            addresses=batch.addresses[start:end],
+            icount_gaps=batch.icount_gaps[start:end],
+            is_writes=batch.is_writes[start:end],
+        )
+        start = end
 
 
 def take(records: Iterable[AccessRecord], limit: int) -> Iterator[AccessRecord]:

@@ -30,6 +30,7 @@ from repro.workloads.placement import (
     contiguous_placement,
     scattered_placement,
 )
+from repro.workloads.compiled import CompiledTrace, CoreTrace, compile_trace
 from repro.workloads.multiprog import MultiprogramWorkload, build_workload
 
 __all__ = [
@@ -42,6 +43,9 @@ __all__ = [
     "zipf_weights",
     "contiguous_placement",
     "scattered_placement",
+    "CompiledTrace",
+    "CoreTrace",
+    "compile_trace",
     "MultiprogramWorkload",
     "build_workload",
 ]

@@ -16,6 +16,7 @@ from typing import Iterator, List
 from repro.config import SystemConfig
 from repro.trace.batch import RecordBatch
 from repro.trace.records import AccessRecord
+from repro.workloads.compiled import CompiledTrace
 from repro.workloads.placement import contiguous_placement, scattered_placement
 from repro.workloads.suites import BenchmarkSpec
 from repro.workloads.synthetic import SyntheticAccessGenerator
@@ -34,6 +35,13 @@ class MultiprogramWorkload:
     segments: List[int]
     per_core_segments: List[List[int]] = field(repr=False)
     seed: int = 0
+    #: Optional precompiled trace (e.g. attached from a shared-memory
+    #: arena); when set, ``streams``/``stream_batches`` replay it
+    #: instead of regenerating — byte-identical either way, since the
+    #: trace is compiled from the same seeded generators.
+    trace: CompiledTrace | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
@@ -61,7 +69,33 @@ class MultiprogramWorkload:
             for core, core_segments in enumerate(self.per_core_segments)
         ]
 
+    def attach_trace(self, trace: CompiledTrace) -> "MultiprogramWorkload":
+        """Serve future streams from ``trace`` instead of regenerating.
+
+        The trace must have been compiled from an identically built
+        workload (same name, same core count); the per-request record
+        count is validated by :class:`CompiledTrace` itself.
+        """
+        if trace.workload != self.name:
+            raise ValueError(
+                f"trace is for workload {trace.workload!r}, "
+                f"this workload is {self.name!r}"
+            )
+        if trace.num_cores != self.num_copies:
+            raise ValueError(
+                f"trace has {trace.num_cores} cores, "
+                f"workload has {self.num_copies}"
+            )
+        self.trace = trace
+        return self
+
+    def detach_trace(self) -> None:
+        """Drop an attached trace (streams regenerate again)."""
+        self.trace = None
+
     def streams(self, accesses_per_core: int) -> List[Iterator[AccessRecord]]:
+        if self.trace is not None:
+            return self.trace.streams(accesses_per_core)
         return [
             generator.stream(accesses_per_core)
             for generator in self.generators()
@@ -72,6 +106,8 @@ class MultiprogramWorkload:
     ) -> List[Iterator[RecordBatch]]:
         """Column-batch form of :meth:`streams` (same records, same
         seeds) for the batched replay kernel."""
+        if self.trace is not None:
+            return self.trace.stream_batches(accesses_per_core)
         return [
             generator.stream_batches(accesses_per_core)
             for generator in self.generators()

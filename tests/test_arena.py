@@ -1,0 +1,348 @@
+"""The shared-memory trace arena: parity, fallback, and cleanup.
+
+The arena is pure plumbing — it must never change a result.  The
+tests here pin that from every side: compiled traces are byte-equal
+to fresh generation, arena-on sweeps are byte-equal to arena-off
+sweeps across the whole design registry (both replay kernels), every
+failure mode degrades to regeneration, and no ``/dev/shm`` segment
+survives a sweep — not even one whose workers were crash-injected.
+"""
+
+import glob
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import REGISTRY
+from repro.experiments.runner import SMOKE_SCALE, Scale
+from repro.runtime import SweepExecutor
+from repro.runtime.arena import (
+    ARENA_PREFIX,
+    ARENA_SCHEMA_VERSION,
+    DEFAULT_ARENA_BUDGET,
+    TraceArena,
+    arena_budget,
+    arena_key,
+    attach_arena,
+)
+from repro.telemetry import ArenaEvent, event_from_dict
+from repro.workloads import benchmark, build_workload
+from repro.workloads.compiled import compile_trace
+
+TINY = Scale(
+    fast_mb=1.0,
+    accesses_per_core=120,
+    warmup_per_core=120,
+    num_copies=2,
+    benchmarks=("mcf", "bwaves"),
+)
+
+
+def leaked_segments() -> list:
+    return glob.glob(f"/dev/shm/{ARENA_PREFIX}*")
+
+
+def tiny_workload(name: str = "mcf"):
+    return build_workload(
+        TINY.config(),
+        benchmark(name),
+        num_copies=TINY.num_copies,
+        seed=TINY.seed,
+    )
+
+
+def shm_available() -> bool:
+    probe = TraceArena.publish(TINY, ["mcf"])
+    if probe is None:
+        return False
+    probe.dispose()
+    return True
+
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this host"
+)
+
+
+class TestCompiledTrace:
+    def test_compiled_equals_fresh_generation(self):
+        workload = tiny_workload()
+        total = TINY.warmup_per_core + TINY.accesses_per_core
+        trace = compile_trace(workload, total)
+        fresh = tiny_workload()
+        for compiled_stream, live_stream in zip(
+            trace.streams(total), fresh.streams(total)
+        ):
+            assert list(compiled_stream) == list(live_stream)
+
+    def test_batch_boundaries_preserved(self):
+        workload = tiny_workload()
+        total = TINY.warmup_per_core + TINY.accesses_per_core
+        trace = compile_trace(workload, total)
+        fresh = tiny_workload()
+        compiled_sizes = [
+            [len(b) for b in stream] for stream in trace.stream_batches(total)
+        ]
+        live_sizes = [
+            [len(b) for b in stream]
+            for stream in fresh.stream_batches(total)
+        ]
+        assert compiled_sizes == live_sizes
+
+    def test_prefix_request_rejected(self):
+        # RNG plan sizes depend on the requested total, so a prefix of
+        # a longer compiled trace is NOT the shorter generation — the
+        # trace must refuse rather than silently diverge.
+        workload = tiny_workload()
+        trace = compile_trace(workload, 240)
+        with pytest.raises(ValueError, match="compiled for"):
+            list(trace.streams(120))
+
+    def test_attached_workload_dispatches_to_trace(self):
+        workload = tiny_workload()
+        total = TINY.warmup_per_core + TINY.accesses_per_core
+        trace = compile_trace(workload, total)
+        workload.attach_trace(trace)
+        assert workload.trace is trace
+        direct = [list(s) for s in trace.streams(total)]
+        via = [list(s) for s in workload.streams(total)]
+        assert direct == via
+        workload.detach_trace()
+        assert workload.trace is None
+
+    def test_attach_validates_identity(self):
+        workload = tiny_workload()
+        other = compile_trace(tiny_workload("bwaves"), 240)
+        with pytest.raises(ValueError, match="bwaves"):
+            workload.attach_trace(other)
+
+
+@needs_shm
+class TestPublishAttach:
+    def test_roundtrip_is_byte_identical(self):
+        arena = TraceArena.publish(TINY, list(TINY.benchmarks))
+        try:
+            view = attach_arena(arena.manifest)
+            try:
+                total = TINY.warmup_per_core + TINY.accesses_per_core
+                for name in TINY.benchmarks:
+                    shared = view.trace(name)
+                    local = compile_trace(tiny_workload(name), total)
+                    for s_core, l_core in zip(shared.cores, local.cores):
+                        np.testing.assert_array_equal(
+                            s_core.batch.addresses, l_core.batch.addresses
+                        )
+                        np.testing.assert_array_equal(
+                            s_core.batch.icount_gaps,
+                            l_core.batch.icount_gaps,
+                        )
+                        np.testing.assert_array_equal(
+                            s_core.batch.is_writes, l_core.batch.is_writes
+                        )
+                        np.testing.assert_array_equal(
+                            s_core.batch_lengths, l_core.batch_lengths
+                        )
+            finally:
+                view.close()
+        finally:
+            arena.dispose()
+        assert leaked_segments() == []
+
+    def test_attached_views_are_read_only(self):
+        arena = TraceArena.publish(TINY, ["mcf"])
+        try:
+            view = attach_arena(arena.manifest)
+            try:
+                trace = view.trace("mcf")
+                with pytest.raises(ValueError):
+                    trace.cores[0].batch.addresses[0] = 1
+                with pytest.raises(ValueError):
+                    trace.cores[0].batch_lengths[0] = 1
+            finally:
+                view.close()
+        finally:
+            arena.dispose()
+
+    def test_manifest_is_json_safe(self):
+        arena = TraceArena.publish(TINY, ["mcf"])
+        try:
+            wire = json.dumps(arena.manifest)
+            assert json.loads(wire) == arena.manifest
+        finally:
+            arena.dispose()
+
+    def test_dispose_is_idempotent_and_unlinks(self):
+        arena = TraceArena.publish(TINY, ["mcf"])
+        name = arena.name
+        arena.dispose()
+        arena.dispose()
+        assert not glob.glob(f"/dev/shm/{name}")
+        with pytest.raises(OSError):
+            attach_arena(
+                {
+                    "arena_schema": ARENA_SCHEMA_VERSION,
+                    "segment": name,
+                    "workloads": {},
+                    "accesses_per_core": 1,
+                    "num_copies": 1,
+                    "bytes": 1,
+                    "key": "",
+                }
+            )
+
+    def test_schema_mismatch_rejected(self):
+        arena = TraceArena.publish(TINY, ["mcf"])
+        try:
+            bad = dict(arena.manifest, arena_schema=ARENA_SCHEMA_VERSION + 1)
+            with pytest.raises(ValueError, match="schema"):
+                attach_arena(bad)
+        finally:
+            arena.dispose()
+
+
+class TestBudgetAndKeys:
+    def test_over_budget_returns_none(self):
+        assert TraceArena.publish(TINY, ["mcf"], budget=64) is None
+        assert leaked_segments() == []
+
+    def test_empty_grid_returns_none(self):
+        assert TraceArena.publish(TINY, []) is None
+
+    def test_env_budget_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARENA_BUDGET", "12345")
+        assert arena_budget() == 12345
+        monkeypatch.setenv("REPRO_ARENA_BUDGET", "not-a-number")
+        assert arena_budget() == DEFAULT_ARENA_BUDGET
+        assert arena_budget(99) == 99
+
+    def test_key_is_content_addressed(self):
+        base = arena_key(TINY, ["mcf"])
+        assert base == arena_key(TINY, ["mcf"])
+        assert base != arena_key(TINY, ["mcf", "bwaves"])
+        bumped = Scale(
+            fast_mb=TINY.fast_mb,
+            accesses_per_core=TINY.accesses_per_core,
+            warmup_per_core=TINY.warmup_per_core,
+            num_copies=TINY.num_copies,
+            benchmarks=TINY.benchmarks,
+            seed=TINY.seed + 1,
+        )
+        assert base != arena_key(bumped, ["mcf"])
+
+
+class TestSweepParity:
+    def _sweep(self, jobs: int, arena: bool, designs, scale=SMOKE_SCALE):
+        executor = SweepExecutor(jobs=jobs, cache=None, arena=arena)
+        results = executor.run(scale, designs)
+        return (
+            {
+                f"{d}/{w}": r.to_dict()
+                for (d, w), r in sorted(results.items())
+            },
+            executor.metrics,
+        )
+
+    def test_arena_matches_regeneration_across_registry(self):
+        # Every design — batched-kernel, scalar, and pager-backed
+        # alike — must produce byte-identical wire forms either way.
+        labels = REGISTRY.labels()
+        with_arena, metrics = self._sweep(1, True, labels)
+        without, _ = self._sweep(1, False, labels)
+        assert with_arena == without
+        if metrics.arena_bytes:
+            assert metrics.arena_hits == len(with_arena)
+        assert leaked_segments() == []
+
+    @needs_shm
+    def test_pooled_arena_matches_serial(self):
+        designs = ("PoM", "Chameleon-Opt")
+        pooled, metrics = self._sweep(4, True, designs, scale=TINY)
+        serial, _ = self._sweep(1, False, designs, scale=TINY)
+        assert pooled == serial
+        assert metrics.arena_bytes > 0
+        assert leaked_segments() == []
+
+    def test_no_arena_reports_zero_metrics(self):
+        _, metrics = self._sweep(1, False, ("PoM",), scale=TINY)
+        assert metrics.arena_bytes == 0
+        assert metrics.arena_hits == 0
+        assert "arena-bytes" not in metrics.summary()
+
+
+@needs_shm
+class TestFaultInteraction:
+    def test_crash_injected_sweep_cleans_up(self):
+        from repro.runtime import FaultPlan
+
+        executor = SweepExecutor(
+            jobs=2,
+            cache=None,
+            arena=True,
+            faults=FaultPlan(seed=7, crashes=2, retries=2),
+        )
+        results = executor.run(TINY, ("PoM", "Alloy-Cache"))
+        plain = SweepExecutor(jobs=1, cache=None, arena=False).run(
+            TINY, ("PoM", "Alloy-Cache")
+        )
+        assert {
+            k: v.to_dict() for k, v in results.items()
+        } == {k: v.to_dict() for k, v in plain.items()}
+        assert executor.metrics.crashes >= 1
+        assert leaked_segments() == []
+
+    def test_failed_sweep_still_unlinks(self):
+        from repro.runtime import FaultPlan, SweepJobError
+
+        executor = SweepExecutor(
+            jobs=2,
+            cache=None,
+            arena=True,
+            retries=0,
+            faults=FaultPlan(seed=3, crashes=1, retries=0),
+        )
+        with pytest.raises(SweepJobError):
+            executor.run(TINY, ("PoM",))
+        assert leaked_segments() == []
+
+    def test_worker_attach_failure_regenerates(self):
+        from repro.runtime.cells import timed_cell
+
+        arena = TraceArena.publish(TINY, ["mcf"])
+        manifest = dict(arena.manifest)
+        arena.dispose()  # segment now gone: attach must fail cleanly
+        design, workload, _, result, _ = timed_cell(
+            (TINY, "PoM", "mcf", False, False, None, 0.0, manifest)
+        )
+        baseline, _, _, plain, _ = timed_cell(
+            (TINY, "PoM", "mcf", False, False, None, 0.0, None)
+        )
+        assert result.to_dict() == plain.to_dict()
+
+
+class TestArenaTelemetry:
+    def test_event_wire_roundtrip(self):
+        event = ArenaEvent(
+            time_ns=1.5,
+            action="attach",
+            segment="repro-arena-abc-1",
+            bytes=4096,
+            workloads=3,
+        )
+        wire = event.to_dict()
+        assert wire["kind"] == "arena"
+        assert event_from_dict(wire) == event
+
+    @needs_shm
+    def test_captured_streams_mark_attach_and_detach(self):
+        executor = SweepExecutor(
+            jobs=1, cache=None, arena=True, telemetry=__import__(
+                "repro.telemetry", fromlist=["EventBus"]
+            ).EventBus()
+        )
+        executor.run(TINY, ("PoM",))
+        for (design, workload), stream in executor.events.items():
+            kinds = [event.kind for event in stream]
+            assert kinds.count("arena") == 2
+            arena_events = [e for e in stream if e.kind == "arena"]
+            assert [e.action for e in arena_events] == ["attach", "detach"]

@@ -105,6 +105,36 @@ class TestRuntimeFlags:
         err = capsys.readouterr().err
         assert "Chameleon/mcf" in err or "Chameleon-Opt/mcf" in err
 
+    def test_arena_on_by_default_and_reported(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "arena-bytes=" in err
+        assert "arena-hits=" in err
+
+    def test_no_arena_flag_disables_the_arena(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache", "--no-arena",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "arena-bytes=" not in err
+
+    def test_arena_does_not_change_output(self, capsys, tmp_path):
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        with_arena = capsys.readouterr().out
+        assert main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache", "--no-arena",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        without = capsys.readouterr().out
+        assert with_arena == without
+
 
 class TestFaultToleranceFlags:
     def test_retries_and_timeout_flags_accepted(self, capsys, tmp_path):

@@ -1,4 +1,4 @@
-"""The typed design registry and its deprecated legacy aliases."""
+"""The typed design registry, and the removal of its legacy aliases."""
 
 import pytest
 
@@ -99,80 +99,26 @@ class TestRegistryConstruction:
             DesignSpec("x", lambda c: None, "middleware")
 
 
-class TestDeprecatedAliases:
-    @pytest.fixture(autouse=True)
-    def _reset_warned(self):
-        # Aliases warn once per process; earlier imports (other test
-        # modules, conftest collection) may already have consumed the
-        # warning, so each test starts from a clean slate.
-        import repro.experiments.runner as runner
-
-        runner._warned_aliases.clear()
-        yield
-        runner._warned_aliases.clear()
-
-    def test_designs_dict_alias_warns_and_matches(self):
-        import repro.experiments.runner as runner
-
-        with pytest.deprecated_call():
-            legacy = runner.DESIGNS
-        assert legacy == REGISTRY.factories()
+class TestRemovedAliases:
+    """The pre-registry aliases finished their deprecation cycle in
+    1.3.0: accessing them is now a plain AttributeError, same as any
+    other unknown name — no warning shim remains."""
 
     @pytest.mark.parametrize(
-        "alias, figure",
-        [
-            ("FIG18_DESIGNS", "fig18"),
-            ("FIG20_DESIGNS", "fig20"),
-            ("FIG22_DESIGNS", "fig22"),
-        ],
+        "alias",
+        ["DESIGNS", "FIG18_DESIGNS", "FIG20_DESIGNS", "FIG22_DESIGNS"],
     )
-    def test_figure_tuple_aliases(self, alias, figure):
+    def test_removed_alias_raises_attribute_error(self, alias):
         import repro.experiments.runner as runner
 
-        with pytest.deprecated_call():
-            labels = getattr(runner, alias)
-        assert labels == REGISTRY.figure_labels(figure)
+        with pytest.raises(AttributeError):
+            getattr(runner, alias)
 
-    def test_alias_warns_once_per_process(self):
-        import warnings
-
+    def test_no_warning_machinery_left_behind(self):
         import repro.experiments.runner as runner
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = runner.DESIGNS
-            second = runner.DESIGNS
-        assert first == second
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-
-    def test_each_alias_warns_independently(self):
-        import warnings
-
-        import repro.experiments.runner as runner
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            runner.DESIGNS
-            runner.FIG18_DESIGNS
-        assert len(caught) == 2
-        assert "DESIGNS is deprecated" in str(caught[0].message)
-        assert "FIG18_DESIGNS is deprecated" in str(caught[1].message)
-
-    def test_warning_points_at_the_caller(self):
-        # stacklevel must escape the module __getattr__ frame so the
-        # report blames the deprecated attribute access, not runner.py.
-        import warnings
-
-        import repro.experiments.runner as runner
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            runner.DESIGNS
-        assert len(caught) == 1
-        assert caught[0].filename == __file__
+        assert not hasattr(runner, "__getattr__")
+        assert not hasattr(runner, "_warned_aliases")
 
     def test_unknown_attribute_still_raises(self):
         import repro.experiments.runner as runner

@@ -16,11 +16,8 @@ from repro.experiments.figures import (
 from repro.experiments.longrun_figures import run_fig3, run_fig4, run_fig5
 from repro.experiments.os_figures import run_fig2a, run_fig2b, run_fig2c
 from repro.experiments.overhead import run_overhead_analysis
-from repro.experiments.runner import (
-    DESIGNS,
-    clear_sweep_cache,
-    run_design_sweep,
-)
+from repro.experiments.designs import REGISTRY
+from repro.experiments.runner import clear_sweep_cache, run_design_sweep
 from repro.experiments.tables import run_table1, run_table2
 
 
@@ -69,7 +66,7 @@ class TestRunnerInfra:
             "CAMEO",
             "numaAware",
         ):
-            assert label in DESIGNS
+            assert label in REGISTRY
 
     def test_sweep_keys_and_cache(self):
         clear_sweep_cache()
