@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Drive the simulation service end to end: boot, simulate, coalesce,
+drain, restart, resume.
+
+Starts ``python -m repro.experiments serve`` as a subprocess, then
+walks the service's whole lifecycle with the blocking
+:class:`repro.serve.Client`:
+
+1. ``POST /v1/simulate`` one cell and check the response matches a
+   direct in-process :func:`repro.api.simulate` of the same cell;
+2. fire several identical concurrent requests and show coalescing —
+   one executor cell, byte-identical response bodies;
+3. run a small ``POST /v1/sweep`` grid (warm cells answer from the
+   result cache without a worker);
+4. SIGTERM the server mid-queue, restart it on the same cache
+   directory, and watch the checkpointed job finish under its old id.
+
+Run (fast — tiny per-core access counts):
+    python examples/serve_client.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import api  # noqa: E402
+from repro.serve import Client  # noqa: E402
+
+#: One cheap cell: ~tens of ms of simulated work.
+SCALE = {
+    "fast_mb": 1.0,
+    "accesses_per_core": 300,
+    "warmup_per_core": 300,
+    "num_copies": 4,
+}
+
+
+def start_server(cache_dir: Path, *, hold: bool = False) -> tuple:
+    """Boot a serve subprocess; returns (process, port)."""
+    argv = [
+        sys.executable, "-m", "repro.experiments", "serve",
+        "--port", "0", "--cache-dir", str(cache_dir),
+    ]
+    if hold:
+        argv.append("--hold")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(REPO),
+        env=env,
+    )
+    line = proc.stdout.readline()  # "[serve] listening on http://host:port"
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"server failed to boot: {line!r}")
+    return proc, int(match.group(1))
+
+
+def stop_server(proc: subprocess.Popen) -> str:
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60)
+    return out
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-serve-"))
+    cache_dir = workdir / "cache"
+
+    # ------------------------------------------------------------------
+    # 1. One cell over HTTP == the same cell in-process.
+    # ------------------------------------------------------------------
+    proc, port = start_server(cache_dir)
+    client = Client(port=port)
+    print(f"server up on port {port}: {client.healthz()['status']}")
+
+    cell = {**SCALE, "design": "Chameleon", "workload": "mcf"}
+    served = client.simulate(cell)
+    direct = api.simulate(
+        design="Chameleon",
+        workload="mcf",
+        config=api.scaled_config(fast_mb=SCALE["fast_mb"]),
+        accesses_per_core=SCALE["accesses_per_core"],
+        warmup_per_core=SCALE["warmup_per_core"],
+        num_copies=SCALE["num_copies"],
+    )
+    assert served["result"] == direct.to_dict(), "served != direct simulate"
+    print(f"simulate Chameleon/mcf -> geomean IPC {direct.geomean_ipc:.3f} "
+          "(matches in-process api.simulate)")
+
+    # ------------------------------------------------------------------
+    # 2. Coalescing: concurrent duplicates share one executor cell.
+    # ------------------------------------------------------------------
+    dup = {**SCALE, "design": "Chameleon", "workload": "bwaves",
+           "wait": True}
+    raws = [None] * 4
+
+    def post(i):
+        raws[i] = client.request("POST", "/v1/simulate", dup)[2]
+
+    threads = [threading.Thread(target=post, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(raws)) == 1, "coalesced responses differ"
+    snapshot = client.metrics()
+    print(f"coalescing: 4 concurrent POSTs -> "
+          f"{snapshot['requests']['coalesced']} coalesced, "
+          f"byte-identical bodies")
+
+    # ------------------------------------------------------------------
+    # 3. A sweep grid; the warm cells never touch a worker.
+    # ------------------------------------------------------------------
+    grid = client.sweep({**SCALE, "designs": ["Chameleon", "PoM"],
+                         "workloads": ["mcf", "bwaves"]})
+    warm = client.metrics()
+    print(f"sweep 2x2 -> {len(grid['results'])} cells "
+          f"(cache_hit_ratio {warm['cache_hit_ratio']:.2f}, "
+          f"p50 {warm['latency']['p50_ms']:.0f}ms)")
+    out = stop_server(proc)
+    print(f"first server drained cleanly: {out.strip().splitlines()[-1]}")
+
+    # ------------------------------------------------------------------
+    # 4. Drain and resume: --hold queues without dispatching, SIGTERM
+    #    checkpoints the queue, a restart serves it to completion.
+    # ------------------------------------------------------------------
+    proc, port = start_server(cache_dir, hold=True)
+    holding = Client(port=port)
+    queued = holding.simulate(
+        {**SCALE, "design": "PoM", "workload": "comd", "wait": False}
+    )
+    job_id = queued["job"]
+    print(f"held server queued job {job_id}")
+    stop_server(proc)
+    checkpoint = cache_dir / "serve-queue.jsonl"
+    assert checkpoint.exists(), "drain did not checkpoint the queue"
+    print(f"SIGTERM checkpointed the queue -> {checkpoint.name}")
+
+    proc, port = start_server(cache_dir)
+    resumed = Client(port=port)
+    done = resumed.wait_job(job_id, timeout=120)
+    assert done["status"] == "done", f"resumed job ended {done['status']}"
+    assert not checkpoint.exists(), "checkpoint not consumed on resume"
+    print(f"restarted server finished checkpointed job {job_id}: "
+          f"status={done['status']}")
+    stop_server(proc)
+    print("\nserve lifecycle complete: simulate, coalesce, sweep, "
+          "drain, resume all verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Stable public facade for the CHAMELEON reproduction (API v2).
+"""Stable public facade for the CHAMELEON reproduction (API v3).
 
 Everything a downstream script or notebook needs lives here, with one
 spelling per concept and keyword-only configuration arguments:
@@ -13,7 +13,10 @@ spelling per concept and keyword-only configuration arguments:
   registry labels / benchmark names or pre-built objects;
 * :func:`sweep` — a full design × workload grid through the
   fault-tolerant parallel runtime (shared-memory trace arena, result
-  cache, checkpoint journal), returning a :class:`SweepOutcome`.
+  cache, checkpoint journal), returning a :class:`SweepOutcome`;
+* :class:`ServeClient` / :class:`SimRequest` / :class:`SweepRequest` —
+  talk to a running ``repro.serve`` simulation service (see
+  docs/SERVING.md).
 
 Compatibility policy: names exported here — and their call
 signatures, frozen by ``tests/test_public_api.py`` — only change with
@@ -70,6 +73,11 @@ from repro.runtime import (
     SweepExecutor,
     SweepMetrics as SweepMetrics,
 )
+from repro.serve.client import Client as ServeClient
+from repro.serve.protocol import (
+    SimRequest as SimRequest,
+    SweepRequest as SweepRequest,
+)
 from repro.telemetry import (
     EventBus as EventBus,
     EventLog as EventLog,
@@ -90,8 +98,11 @@ from repro.osmodel.longrun import (
 )
 
 #: Version of this facade.  Bumped only on a breaking surface change
-#: (which itself requires a deprecation cycle first).
-API_VERSION = 2
+#: (which itself requires a deprecation cycle first).  v3 adds the
+#: serving surface (``ServeClient``/``SimRequest``/``SweepRequest``)
+#: and ``sweep(timeout=, retries=)`` — strictly additive; every v2
+#: call keeps working unchanged.
+API_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -286,6 +297,8 @@ def sweep(
     audit: bool = False,
     arena: bool = True,
     arena_budget: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> SweepOutcome:
     """Simulate a design × workload grid through the sweep runtime.
 
@@ -294,7 +307,10 @@ def sweep(
     supervised worker processes (results are bit-identical at any
     worker count); ``cache_dir`` enables the content-addressed disk
     cache; ``arena`` shares precompiled traces with workers over
-    shared memory (automatic fallback when unavailable).
+    shared memory (automatic fallback when unavailable); ``timeout``
+    (seconds per cell) and ``retries`` (re-dispatches before a cell is
+    abandoned) tune the runtime's fault tolerance — ``None`` keeps the
+    runtime defaults.
     """
     if designs is None:
         designs = REGISTRY.labels()
@@ -307,6 +323,8 @@ def sweep(
         audit=audit,
         arena=arena,
         arena_budget=arena_budget,
+        timeout=timeout,
+        retries=retries,
     )
     results: Dict[Tuple[str, str], SimulationResult] = dict(
         executor.run(scale, designs)
@@ -334,9 +352,12 @@ __all__ = [
     "MemoryArchitecture",
     "MultiprogramWorkload",
     "Scale",
+    "ServeClient",
+    "SimRequest",
     "SimulationResult",
     "SweepMetrics",
     "SweepOutcome",
+    "SweepRequest",
     "SystemConfig",
     "TimelineRecorder",
     "WorkloadSpec",

@@ -73,6 +73,11 @@ throughput/parity record to ``BENCH_kernel.json``::
 
     python -m repro.experiments bench
     python -m repro.experiments bench --out /tmp/BENCH_kernel.json
+
+The long-running simulation service (see docs/SERVING.md) starts with
+the ``serve`` subcommand and drains gracefully on SIGTERM::
+
+    python -m repro.experiments serve --port 8642 --jobs 4
 """
 
 from __future__ import annotations
@@ -210,7 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment id (e.g. fig15), 'list', 'all', "
-            "'cache' (with 'info'/'clear'), or 'bench'"
+            "'cache' (with 'info'/'clear'), 'bench', or 'serve'"
         ),
     )
     parser.add_argument(
@@ -352,6 +357,37 @@ def main(argv: list[str] | None = None) -> int:
         default=3,
         help="bench subcommand: timing repeats per kernel (best-of)",
     )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="serve subcommand: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve subcommand: TCP port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=positive_int,
+        default=None,
+        help="serve subcommand: pending-queue bound before 429s",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=positive_int,
+        default=None,
+        help="serve subcommand: cells per dispatched executor sweep",
+    )
+    parser.add_argument(
+        "--hold",
+        action="store_true",
+        help=(
+            "serve subcommand: accept and queue requests but do not "
+            "dispatch them (maintenance / drain testing)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     cache_dir = args.cache_dir or default_cache_dir()
@@ -364,6 +400,35 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench_command(
             out_path=args.out or DEFAULT_BENCH_OUT, repeats=args.repeats
         )
+
+    if args.experiment == "serve":
+        from repro.serve import DEFAULT_HOST, DEFAULT_PORT, SimServer
+        from repro.serve.dispatcher import DEFAULT_MAX_BATCH
+        from repro.serve.scheduler import DEFAULT_MAX_QUEUE
+
+        server = SimServer(
+            host=args.host if args.host is not None else DEFAULT_HOST,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(cache_dir),
+            checkpoint_dir=cache_dir,
+            max_queue=(
+                args.max_queue
+                if args.max_queue is not None
+                else DEFAULT_MAX_QUEUE
+            ),
+            max_batch=(
+                args.max_batch
+                if args.max_batch is not None
+                else DEFAULT_MAX_BATCH
+            ),
+            hold=args.hold,
+            timeout=args.timeout,
+            retries=args.retries,
+            arena=args.arena,
+        )
+        server.run()
+        return 0
 
     if args.experiment == "list":
         for name in EXPERIMENTS:

@@ -16,7 +16,10 @@ The numbers answer three questions:
 * what does a user-visible sweep cost (``figures`` wall seconds);
 * what does the shared-memory trace arena save (``sweep_setup`` —
   per-cell workload prep with the arena off vs on at fig15 smoke
-  scale, plus an arena-on/off whole-sweep parity bit).
+  scale, plus an arena-on/off whole-sweep parity bit);
+* what does the serving layer add on top of a cell (``serve_latency``
+  — cold vs warm request p50/p95 through a live ``repro.serve``
+  server at smoke scale, plus the coalescing hit ratio).
 """
 
 from __future__ import annotations
@@ -36,7 +39,8 @@ from repro.workloads import benchmark, build_workload
 
 #: Wire-format version of ``BENCH_kernel.json``.
 #: 2: added the ``sweep_setup`` arena section.
-BENCH_SCHEMA_VERSION = 2
+#: 3: added the ``serve_latency`` service section.
+BENCH_SCHEMA_VERSION = 3
 
 #: Default output path of the ``bench`` subcommand.
 DEFAULT_BENCH_OUT = "BENCH_kernel.json"
@@ -213,6 +217,98 @@ def _sweep_setup_bench(scale: Scale, repeats: int) -> Dict[str, Any]:
     }
 
 
+def _serve_latency_bench(scale: Scale) -> Dict[str, Any]:
+    """Request latency through a live server at ``scale``.
+
+    Cold requests simulate their cell; warm requests repeat the same
+    cells and must be answered from the completed-job table / result
+    cache without a worker.  A burst of identical concurrent requests
+    measures the coalescing hit ratio.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro.runtime import ResultCache
+    from repro.serve import Client, ServerThread
+
+    cells = [
+        {"design": "Chameleon", "workload": name} for name in scale.benchmarks
+    ]
+    scale_fields = {
+        "fast_mb": scale.fast_mb,
+        "ratio": scale.ratio,
+        "accesses_per_core": scale.accesses_per_core,
+        "warmup_per_core": scale.warmup_per_core,
+        "num_copies": scale.num_copies,
+        "seed": scale.seed,
+    }
+
+    def timed_request(client: Client, payload: Dict[str, Any]) -> float:
+        start = time.perf_counter()
+        client.simulate({**scale_fields, **payload})
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        with ServerThread(port=0, cache=cache) as srv:
+            client = Client(port=srv.port)
+            cold = sorted(timed_request(client, cell) for cell in cells)
+            warm = sorted(timed_request(client, cell) for cell in cells)
+            # Snapshot before the burst: the warm pass must not have
+            # cost any worker cells beyond the cold pass's.
+            after_warm = client.metrics()
+
+            # A cold cell (fresh seed) so the burst actually coalesces
+            # instead of hitting the completed-job table.
+            burst = {
+                **scale_fields,
+                **cells[0],
+                "seed": scale.seed + 1,
+                "wait": True,
+            }
+            workers = 4
+            latencies = [0.0] * workers
+
+            def fire(index: int) -> None:
+                start = time.perf_counter()
+                client.request("POST", "/v1/simulate", burst)
+                latencies[index] = time.perf_counter() - start
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = client.metrics()
+
+    def block(samples: list) -> Dict[str, float]:
+        from repro.serve.metrics import percentile
+
+        return {
+            "p50_ms": round(percentile(samples, 0.50) * 1e3, 3),
+            "p95_ms": round(percentile(samples, 0.95) * 1e3, 3),
+        }
+
+    return {
+        "cells": len(cells),
+        "cold": block(cold),
+        "warm": block(warm),
+        "warm_no_worker": (
+            after_warm["dispatch"]["worker_cells"] == len(cells)
+        ),
+        "coalesce_hit_ratio": round(
+            snapshot["requests"]["coalesced"]
+            / max(1, snapshot["requests"]["received"]),
+            4,
+        ),
+        "cache_hit_ratio": snapshot["cache_hit_ratio"],
+    }
+
+
 def run_kernel_bench(
     scale: Scale = BENCH_SCALE,
     figure_scale: Scale = SMOKE_SCALE,
@@ -241,6 +337,7 @@ def run_kernel_bench(
             for name, seconds in _figure_wall_seconds(figure_scale).items()
         },
         "sweep_setup": _sweep_setup_bench(figure_scale, repeats),
+        "serve_latency": _serve_latency_bench(figure_scale),
     }
 
 
@@ -273,6 +370,15 @@ def run_bench_command(
         )
     else:
         print("  sweep setup: shared memory unavailable, arena skipped")
+    serve = payload["serve_latency"]
+    print(
+        f"  serve latency: cold p50 {serve['cold']['p50_ms']:.0f}ms / "
+        f"p95 {serve['cold']['p95_ms']:.0f}ms, warm p50 "
+        f"{serve['warm']['p50_ms']:.1f}ms / p95 "
+        f"{serve['warm']['p95_ms']:.1f}ms, coalesce ratio "
+        f"{serve['coalesce_hit_ratio']:.2f} "
+        f"warm-no-worker={'OK' if serve['warm_no_worker'] else 'FAIL'}"
+    )
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -24,6 +24,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -88,9 +89,19 @@ class ResultCache:
     def describe(
         self, scale: Any, design: str, workload: str
     ) -> Dict[str, Any]:
-        """The cell's identity, as stored alongside each entry."""
+        """The cell's identity, as stored alongside each entry.
+
+        The scale's ``benchmarks`` tuple is *excluded*: it lists the
+        cell's sweep siblings, which never influence the cell's own
+        result (cells share no state).  Keying on it would give the
+        same simulation a different address depending on which grid —
+        or which :mod:`repro.serve` dispatch batch — it happened to
+        run in.
+        """
+        scale_fields = dataclasses.asdict(scale)
+        scale_fields.pop("benchmarks", None)
         return {
-            "scale": dataclasses.asdict(scale),
+            "scale": scale_fields,
             "design": design,
             "workload": workload,
             "version": self.version,
@@ -151,7 +162,16 @@ class ResultCache:
         workload: str,
         result: SimulationResult,
     ) -> Path:
-        """Persist ``result``; evicts LRU entries past ``max_entries``."""
+        """Persist ``result``; evicts LRU entries past ``max_entries``.
+
+        Safe under concurrent writers: each writer stages into its own
+        uniquely-named temp file and publishes with :func:`os.replace`,
+        so two processes racing the same key (``--jobs`` sweeps or
+        :mod:`repro.serve` dispatch batches sharing a cache dir) each
+        land a complete entry — last replace wins, and readers never
+        observe a partial file.  A shared ``.tmp`` name would let the
+        racers interleave writes into one file and publish garbage.
+        """
         digest = self.key(scale, design, workload)
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -159,9 +179,12 @@ class ResultCache:
             "key": self.describe(scale, design, workload),
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)  # atomic: concurrent readers never see partials
+        tmp = path.with_name(f".{digest}.{uuid.uuid4().hex}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)  # atomic publish, even when racing
+        finally:
+            tmp.unlink(missing_ok=True)  # only if the replace never ran
         self.stats.stores += 1
         if self.max_entries is not None:
             self._evict(keep=path)

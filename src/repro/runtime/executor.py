@@ -240,26 +240,61 @@ class SweepExecutor:
     def run(self, scale, designs: Sequence[str]) -> SweepResults:
         """Simulate every ``(design, workload)`` cell of ``scale``,
         serving what it can from the journal and the disk cache."""
+        self._check_designs(designs)
+        cells = [
+            (design, workload)
+            for design in designs
+            for workload in scale.benchmarks
+        ]
+        journal: Optional[SweepJournal] = None
+        if self.journal_dir is not None:
+            journal = SweepJournal.for_sweep(self.journal_dir, scale, designs)
+        return self._run_cells(scale, cells, journal)
+
+    def run_cells(
+        self, scale, cells: Sequence[Tuple[str, str]]
+    ) -> SweepResults:
+        """Simulate an explicit list of ``(design, workload)`` cells.
+
+        The batching hook used by :mod:`repro.serve` dispatch batches:
+        unlike :meth:`run`, the grid is not the ``designs ×
+        scale.benchmarks`` cross product but exactly ``cells`` (order
+        preserved, duplicates rejected).  Cache, arena, journal, fault
+        and retry semantics are identical — a cell's result is
+        bit-identical whichever entry point ran it.
+        """
+        seen = set()
+        for cell in cells:
+            if cell in seen:
+                raise ValueError(f"duplicate cell {cell!r}")
+            seen.add(cell)
+        self._check_designs(sorted({design for design, _ in cells}))
+        journal: Optional[SweepJournal] = None
+        if self.journal_dir is not None:
+            journal = SweepJournal.for_cells(self.journal_dir, scale, cells)
+        return self._run_cells(scale, list(cells), journal)
+
+    @staticmethod
+    def _check_designs(designs: Sequence[str]) -> None:
         from repro.experiments.designs import REGISTRY
 
         for design in designs:
             if design not in REGISTRY:
                 raise KeyError(f"unknown design {design!r}")
 
-        cells = [
-            (design, workload)
-            for design in designs
-            for workload in scale.benchmarks
-        ]
+    def _run_cells(
+        self,
+        scale,
+        cells: List[Tuple[str, str]],
+        journal: Optional[SweepJournal],
+    ) -> SweepResults:
         start = time.perf_counter()
         results: SweepResults = {}
         pending: List[Tuple[str, str]] = []
         done = 0
 
-        journal: Optional[SweepJournal] = None
         recovered: Dict[Tuple[str, str], SimulationResult] = {}
-        if self.journal_dir is not None:
-            journal = SweepJournal.for_sweep(self.journal_dir, scale, designs)
+        if journal is not None:
             recovered = journal.load()
             journal.start()
 

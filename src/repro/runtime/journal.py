@@ -80,6 +80,36 @@ class SweepJournal:
         ).hexdigest()
         return cls(Path(root) / f"sweep-{digest[:16]}.jsonl", identity)
 
+    @classmethod
+    def for_cells(
+        cls,
+        root: Path | str,
+        scale: Any,
+        cells: Sequence[Tuple[str, str]],
+        version: Optional[str] = None,
+    ) -> "SweepJournal":
+        """Like :meth:`for_sweep`, but for an explicit cell list (the
+        :meth:`~repro.runtime.executor.SweepExecutor.run_cells` path
+        used by :mod:`repro.serve` dispatch batches) — the identity
+        names each ``(design, workload)`` pair instead of a design ×
+        ``scale.benchmarks`` grid."""
+        if version is None:
+            from repro import __version__ as version
+        identity = json.loads(
+            json.dumps(
+                {
+                    "scale": dataclasses.asdict(scale),
+                    "cells": [list(cell) for cell in cells],
+                    "version": version,
+                    "result_schema": RESULT_SCHEMA_VERSION,
+                }
+            )
+        )
+        digest = hashlib.sha256(
+            json.dumps(identity, sort_keys=True).encode()
+        ).hexdigest()
+        return cls(Path(root) / f"cells-{digest[:16]}.jsonl", identity)
+
     # -- resume --------------------------------------------------------
 
     def load(self) -> JournalCells:

@@ -1,0 +1,171 @@
+"""Blocking client for the simulation service.
+
+A thin :mod:`http.client` wrapper speaking the wire format in
+:mod:`repro.serve.protocol` — one connection per call, matching the
+server's ``Connection: close`` policy.  Non-2xx responses raise
+:class:`ServeError`, which carries the decoded payload and, for 429/503
+backpressure answers, the server's ``Retry-After`` hint.
+
+>>> client = Client("127.0.0.1", 8642)
+>>> body = client.simulate({"design": "Chameleon", "workload": "mcf"})
+>>> body["result"]["workload"]
+'mcf'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.serve.protocol import WIRE_VERSION
+
+#: Default per-request socket timeout (simulated cells are slow; give
+#: a waited POST room to finish).
+DEFAULT_TIMEOUT = 300.0
+
+
+class ServeError(Exception):
+    """A non-success response from the service."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        message = payload.get("error") or payload.get("status") or "error"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class Client:
+    """Synchronous client for one :class:`~repro.serve.SimServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One raw round trip → ``(status, headers, body bytes)``.
+
+        The returned body is exactly what the server wrote — tests use
+        this to assert coalesced responses are byte-identical.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(dict(payload)).encode()
+                if payload is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            header_map = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, header_map, raw
+        finally:
+            conn.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        accept: Tuple[int, ...] = (200, 202),
+    ) -> Dict[str, Any]:
+        status, headers, raw = self.request(method, path, payload)
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status not in accept:
+            retry_after = None
+            if "retry-after" in headers:
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    pass
+            raise ServeError(status, decoded, retry_after)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------
+
+    def simulate(
+        self, request: Mapping[str, Any], *, wait: bool = True
+    ) -> Dict[str, Any]:
+        """POST one cell; by default blocks until the result payload.
+        An explicit ``"wait"`` key in ``request`` wins over the kwarg."""
+        body = dict(request)
+        body.setdefault("wait", wait)
+        return self._json("POST", "/v1/simulate", body)
+
+    def sweep(
+        self, request: Mapping[str, Any], *, wait: bool = True
+    ) -> Dict[str, Any]:
+        """POST a designs × workloads grid.  An explicit ``"wait"``
+        key in ``request`` wins over the kwarg."""
+        body = dict(request)
+        body.setdefault("wait", wait)
+        return self._json("POST", "/v1/sweep", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Poll one job by digest (200 even for failed/checkpointed —
+        the payload's ``status`` field tells the story; only an unknown
+        id raises)."""
+        return self._json(
+            "GET", f"/v1/jobs/{job_id}", accept=(200, 500, 503)
+        )
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll ``/v1/jobs/<id>`` until it leaves the queued/running
+        states (or ``timeout`` elapses)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.job(job_id)
+            if body.get("status") not in ("queued", "running"):
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {body.get('status')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(interval)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._json("GET", "/metrics")
+
+
+__all__ = ["Client", "DEFAULT_TIMEOUT", "ServeError", "WIRE_VERSION"]

@@ -1,0 +1,422 @@
+"""Admission control, fair-share priority queues, and coalescing.
+
+Every request entering the server passes through one
+:class:`Scheduler`, which decides — in this order, cheapest first —
+how it will be answered:
+
+1. **completed-job table** — a recently finished job with the same
+   digest answers instantly with its stored canonical bytes;
+2. **result cache** — the PR-1 :class:`~repro.runtime.ResultCache` is
+   consulted synchronously; a warm cell becomes a ``done`` job without
+   ever touching a worker;
+3. **coalescing** — an identical *in-flight* job (queued or running)
+   absorbs the request: N concurrent duplicates cost one executor cell
+   and every waiter receives the same response bytes;
+4. **admission control** — a new job only enters the pending queue if
+   there is room; otherwise :class:`QueueFull` carries a
+   ``Retry-After`` priced from the observed simulated-cell latency;
+5. **fair-share queues** — pending jobs sit in per-client queues.
+   :meth:`Scheduler.next_batch` drains them round-robin across
+   clients (no tenant starves another) and by descending ``priority``
+   (FIFO within a priority) within each client, gathering only cells
+   that share a scale so the dispatcher can run them as one sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.runtime.cache import ResultCache
+from repro.serve.metrics import SERVED_FAST, SERVED_SIMULATED, ServerMetrics
+from repro.serve.protocol import BadRequest, SimRequest, canonical_payload
+from repro.sim import SimulationResult
+from repro.telemetry.bus import EventBus, NullBus
+from repro.telemetry.events import ServeEvent
+
+#: Default bound on the pending queue (jobs admitted but not yet
+#: dispatched); beyond it new work is rejected with 429 + Retry-After.
+DEFAULT_MAX_QUEUE = 64
+
+#: Job lifecycle states (the ``status`` field of every job payload).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CHECKPOINTED = "checkpointed"
+
+#: How many completed/failed jobs stay answerable at ``/v1/jobs/<id>``.
+DONE_TABLE_LIMIT = 1024
+
+
+class QueueFull(Exception):
+    """Admission control rejection; ``retry_after`` is in seconds."""
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"pending queue full ({depth} jobs); retry in {retry_after:.1f}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class Job:
+    """One unit of scheduled work: a cell request plus its lifecycle.
+
+    ``future`` resolves with the job's canonical response bytes; every
+    HTTP waiter (original submitter and all coalesced duplicates)
+    awaits the same future and therefore writes the same bytes.
+    """
+
+    def __init__(self, request: SimRequest, source: str = "request") -> None:
+        self.request = request
+        self.id = request.digest
+        self.status = QUEUED
+        self.source = source            # "request" | "checkpoint"
+        self.attempts = 0               # dispatch batches that tried it
+        self.created = time.monotonic()
+        self.payload: Optional[bytes] = None
+        self.http_status = 200
+        # Jobs are only ever created inside the server's event loop
+        # (HTTP handlers, checkpoint resume at start()).
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    @property
+    def cell(self) -> Tuple[str, str]:
+        return self.request.cell
+
+    def _resolve(self, payload: bytes) -> None:
+        self.payload = payload
+        if not self.future.done():
+            self.future.set_result(payload)
+
+    def complete(self, result: SimulationResult) -> None:
+        self.status = DONE
+        self.http_status = 200
+        self._resolve(
+            canonical_payload(
+                {
+                    "job": self.id,
+                    "status": DONE,
+                    "request": self.request.identity(),
+                    "result": result.to_dict(),
+                }
+            )
+        )
+
+    def fail(self, error: Dict[str, Any]) -> None:
+        self.status = FAILED
+        self.http_status = 500
+        self._resolve(
+            canonical_payload(
+                {
+                    "job": self.id,
+                    "status": FAILED,
+                    "request": self.request.identity(),
+                    "error": error,
+                }
+            )
+        )
+
+    def checkpoint(self, retry_after: float) -> None:
+        """The server drained with this job still queued: waiters get
+        a 503 telling them the job survives and where to poll it."""
+        self.status = CHECKPOINTED
+        self.http_status = 503
+        self._resolve(
+            canonical_payload(
+                {
+                    "job": self.id,
+                    "status": CHECKPOINTED,
+                    "request": self.request.identity(),
+                    "retry_after": retry_after,
+                }
+            )
+        )
+
+
+class Scheduler:
+    """Fair-share priority queues with coalescing and admission."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        workers: int = 1,
+        metrics: Optional[ServerMetrics] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.cache = cache
+        self.max_queue = max_queue
+        self.workers = max(1, workers)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.bus: EventBus | NullBus = bus if bus is not None else NullBus()
+        #: In-flight jobs (queued or running), by digest.
+        self.jobs: Dict[str, Job] = {}
+        #: Finished jobs (done/failed), bounded FIFO, by digest.
+        self.done: Dict[str, Job] = {}
+        #: Pending queue: per-client FIFO of queued jobs.
+        self._queues: Dict[str, List[Job]] = {}
+        #: Round-robin order over clients with pending work.
+        self._rr: Deque[str] = deque()
+        self._seq = 0
+        self._counter: Dict[str, int] = {}  # job -> arrival sequence
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.status == RUNNING)
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id) or self.done.get(job_id)
+
+    def retry_after(self) -> float:
+        """Admission control's backpressure hint: the queue's expected
+        drain time at the observed per-cell latency, floored at 1s."""
+        per_cell = self.metrics.mean_simulated_seconds()
+        backlog = self.queue_depth + self.in_flight
+        return max(1.0, math.ceil(per_cell * max(1, backlog) / self.workers))
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, request: SimRequest) -> Job:
+        """Route one request: job-table hit, cache hit, coalesce, or
+        admit; raises :class:`QueueFull` when admission fails and
+        :class:`BadRequest` for unknown designs/workloads."""
+        self._validate(request)
+        self.metrics.received += 1
+        digest = request.digest
+
+        finished = self.done.get(digest)
+        if finished is not None and finished.status == DONE:
+            self.metrics.job_hits += 1
+            self.metrics.record_latency(0.0, SERVED_FAST)
+            self._emit("cache_hit", finished, request.client)
+            return finished
+
+        active = self.jobs.get(digest)
+        if active is not None:
+            self.metrics.coalesced += 1
+            self._emit("coalesce", active, request.client)
+            return active
+
+        if self.cache is not None:
+            cached = self.cache.get(
+                request.scale(), request.design, request.workload
+            )
+            if cached is not None:
+                job = Job(request)
+                job.complete(cached)
+                self._remember(job)
+                self.metrics.cache_hits += 1
+                self.metrics.record_latency(0.0, SERVED_FAST)
+                self._emit("cache_hit", job, request.client)
+                return job
+
+        if self.queue_depth >= self.max_queue:
+            self.metrics.rejected += 1
+            retry_after = self.retry_after()
+            self._emit("reject", None, request.client)
+            raise QueueFull(self.queue_depth, retry_after)
+
+        job = Job(request)
+        self._enqueue(job)
+        self.metrics.admitted += 1
+        self._emit("admit", job, request.client)
+        return job
+
+    def resume(self, job: Job) -> Job:
+        """Re-queue one checkpointed job on boot (digest collisions —
+        the same cell checkpointed twice can't happen, the table
+        dedups — would coalesce silently)."""
+        existing = self.jobs.get(job.id)
+        if existing is not None:
+            return existing
+        self._enqueue(job)
+        self.metrics.resumed += 1
+        self._emit("resume", job, job.request.client)
+        return job
+
+    def _enqueue(self, job: Job) -> None:
+        job.status = QUEUED
+        self.jobs[job.id] = job
+        client = job.request.client
+        if client not in self._queues:
+            self._queues[client] = []
+            self._rr.append(client)
+        self._queues[client].append(job)
+        self._counter[job.id] = self._seq
+        self._seq += 1
+
+    def _validate(self, request: SimRequest) -> None:
+        from repro.experiments.designs import REGISTRY
+        from repro.workloads import benchmark
+
+        try:
+            REGISTRY.get(request.design)
+        except KeyError:
+            raise BadRequest(f"unknown design {request.design!r}") from None
+        try:
+            benchmark(request.workload)
+        except KeyError:
+            raise BadRequest(
+                f"unknown workload {request.workload!r}"
+            ) from None
+
+    # -- dispatch ------------------------------------------------------
+
+    def next_batch(self, max_batch: int = 8) -> List[Job]:
+        """Pop up to ``max_batch`` compatible queued jobs.
+
+        The first job is chosen fairly (round-robin over clients,
+        highest ``priority`` then FIFO within the client); the rest of
+        the batch is filled with jobs sharing its
+        :meth:`~repro.serve.protocol.SimRequest.scale_key`, same
+        fairness order, leaving incompatible jobs queued for a later
+        batch.  Popped jobs are marked ``running``.
+        """
+        first = self._pop_best(None)
+        if first is None:
+            return []
+        batch = [first]
+        key = first.request.scale_key()
+        while len(batch) < max_batch:
+            job = self._pop_best(key)
+            if job is None:
+                break
+            batch.append(job)
+        for job in batch:
+            job.status = RUNNING
+        return batch
+
+    def _pop_best(self, scale_key: Optional[Tuple]) -> Optional[Job]:
+        """Fairest eligible job: scan clients in round-robin order,
+        taking the first client that has an eligible job and, within
+        it, the highest-priority earliest-arrival one."""
+        for _ in range(len(self._rr)):
+            client = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(client, [])
+            best_index = -1
+            for index, job in enumerate(queue):
+                if scale_key is not None and (
+                    job.request.scale_key() != scale_key
+                ):
+                    continue
+                if best_index < 0 or (
+                    job.request.priority,
+                    -self._counter[job.id],
+                ) > (
+                    queue[best_index].request.priority,
+                    -self._counter[queue[best_index].id],
+                ):
+                    best_index = index
+            if best_index >= 0:
+                job = queue.pop(best_index)
+                if not queue:
+                    self._forget_client(client)
+                return job
+        return None
+
+    def _forget_client(self, client: str) -> None:
+        self._queues.pop(client, None)
+        try:
+            self._rr.remove(client)
+        except ValueError:
+            pass
+
+    def requeue(self, job: Job) -> None:
+        """Put a dispatched-but-unfinished job back in the queue (its
+        batch died around it; see the dispatcher's failure handling)."""
+        if job.id in self.jobs and job.status == RUNNING:
+            self._enqueue(job)
+
+    # -- completion ----------------------------------------------------
+
+    def finish(self, job: Job) -> None:
+        """Move a resolved job from in-flight to the done table."""
+        self.jobs.pop(job.id, None)
+        self._counter.pop(job.id, None)
+        self._remember(job)
+        elapsed = time.monotonic() - job.created
+        if job.status == DONE:
+            self.metrics.completed += 1
+        elif job.status == FAILED:
+            self.metrics.failed += 1
+        self.metrics.record_latency(elapsed, SERVED_SIMULATED)
+        self._emit("complete", job, job.request.client, seconds=elapsed)
+
+    def _remember(self, job: Job) -> None:
+        self.done[job.id] = job
+        while len(self.done) > DONE_TABLE_LIMIT:
+            self.done.pop(next(iter(self.done)))
+
+    # -- drain ---------------------------------------------------------
+
+    def drain(self) -> List[Job]:
+        """Remove and return every still-queued job (fairness order),
+        for checkpointing at shutdown.  Running jobs are not touched —
+        the dispatcher finishes them before the server exits."""
+        drained: List[Job] = []
+        while True:
+            job = self._pop_best(None)
+            if job is None:
+                break
+            self.jobs.pop(job.id, None)
+            self._counter.pop(job.id, None)
+            drained.append(job)
+            self.metrics.checkpointed += 1
+        if drained:
+            self._emit("drain", None, "", queue_depth=len(drained))
+        return drained
+
+    # -- telemetry -----------------------------------------------------
+
+    def _emit(
+        self,
+        action: str,
+        job: Optional[Job],
+        client: str,
+        *,
+        seconds: float = 0.0,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        if not self.bus.enabled:
+            return
+        self.bus.emit(
+            ServeEvent(
+                0.0,
+                action=action,
+                job=job.id if job is not None else "",
+                client=client,
+                queue_depth=(
+                    queue_depth if queue_depth is not None else self.queue_depth
+                ),
+                seconds=seconds,
+            )
+        )
+
+
+__all__ = [
+    "CHECKPOINTED",
+    "DEFAULT_MAX_QUEUE",
+    "DONE",
+    "DONE_TABLE_LIMIT",
+    "FAILED",
+    "Job",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "Scheduler",
+]

@@ -35,7 +35,9 @@ from repro.telemetry.events import (
     JobRetryEvent,
     ModeTransition,
     PageFaultEvent,
+    SERVE_ACTIONS,
     SegmentSwap,
+    ServeEvent,
     TelemetryEvent,
     WritebackEvent,
     event_from_dict,
@@ -68,7 +70,9 @@ __all__ = [
     "NULL_BUS",
     "NullBus",
     "PageFaultEvent",
+    "SERVE_ACTIONS",
     "SegmentSwap",
+    "ServeEvent",
     "TIMELINE_CHANNELS",
     "TelemetryEvent",
     "TimelineRecorder",

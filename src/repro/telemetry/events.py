@@ -178,6 +178,40 @@ class ArenaEvent(TelemetryEvent):
     workloads: int = 0
 
 
+#: ``ServeEvent.action`` values (the request lifecycle of one job in
+#: :mod:`repro.serve`, in the order a worked request passes them).
+SERVE_ACTIONS = (
+    "admit",        # request accepted into the pending queue
+    "coalesce",     # identical in-flight request joined an existing job
+    "cache_hit",    # answered from the ResultCache, no worker touched
+    "reject",       # admission control bounced it (queue full)
+    "dispatch",     # a batch of queued cells went to the executor
+    "complete",     # job finished (result or structured error)
+    "drain",        # shutdown checkpointed the unserved queue
+    "resume",       # a restarted server re-queued checkpointed jobs
+)
+
+
+@dataclass(frozen=True)
+class ServeEvent(TelemetryEvent):
+    """One :mod:`repro.serve` request-lifecycle step (host-side, so
+    ``time_ns`` is always ``0.0`` — serving has no simulated clock).
+
+    ``action`` is one of :data:`SERVE_ACTIONS`; ``job`` the request
+    digest, ``client`` the fair-share tenant id, ``queue_depth`` the
+    pending-queue depth *after* the step, and ``seconds`` the
+    admit-to-complete wall latency (``complete`` only).
+    """
+
+    kind: ClassVar[str] = "serve"
+
+    action: str
+    job: str = ""
+    client: str = ""
+    queue_depth: int = 0
+    seconds: float = 0.0
+
+
 #: ``kind`` tag -> event class, for deserialisation.
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.kind: cls
@@ -190,6 +224,7 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         EpochSample,
         JobRetryEvent,
         ArenaEvent,
+        ServeEvent,
     )
 }
 
@@ -213,8 +248,10 @@ __all__ = [
     "JobRetryEvent",
     "ModeTransition",
     "PageFaultEvent",
-    "SWAP_REASONS",
+    "SERVE_ACTIONS",
     "SegmentSwap",
+    "ServeEvent",
+    "SWAP_REASONS",
     "TelemetryEvent",
     "WritebackEvent",
     "event_from_dict",

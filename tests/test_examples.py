@@ -21,6 +21,7 @@ def test_examples_directory_complete():
         "datacenter_scheduler.py",
         "capacity_planning.py",
         "mode_timeline.py",
+        "serve_client.py",
     } <= names
 
 
@@ -31,6 +32,7 @@ def test_examples_directory_complete():
         "datacenter_scheduler.py",
         "capacity_planning.py",
         "mode_timeline.py",
+        "serve_client.py",
     ],
 )
 def test_example_compiles(name):

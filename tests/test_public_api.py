@@ -99,7 +99,7 @@ def _describe(name: str) -> str:
     return f"constant:{type(obj).__name__}"
 
 
-#: The frozen v2 surface: every ``repro.api`` export and, for
+#: The frozen v3 surface: every ``repro.api`` export and, for
 #: callables, its exact signature (names, order, kinds, defaults,
 #: annotations).  Regenerate a candidate with ``_describe`` only as
 #: the last step of a deliberate, documented surface change.
@@ -118,10 +118,13 @@ FROZEN_SURFACE = {
     "MB": "constant:int",
     "MemoryArchitecture": "class(config: 'SystemConfig', counters: 'CounterSet | None' = None, telemetry: 'EventBus | NullBus | None' = None)",
     "MultiprogramWorkload": "class(config: 'SystemConfig', spec: 'BenchmarkSpec', num_copies: 'int', segments: 'List[int]', per_core_segments: 'List[List[int]]', seed: 'int' = 0, trace: 'CompiledTrace | None' = None) -> None",
+    "ServeClient": "class(host: 'str' = '127.0.0.1', port: 'int' = 8642, *, timeout: 'float' = 300.0) -> 'None'",
+    "SimRequest": "class(design: 'str', workload: 'str', fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, seed: 'int' = 0, client: 'str' = 'anon', priority: 'int' = 0) -> None",
     "Scale": "class(fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, benchmarks: 'Tuple[str, ...]' = ('bwaves', 'lbm', 'cactusADM', 'leslie3d', 'mcf', 'GemsFDTD', 'SP', 'stream', 'cloverleaf', 'comd', 'miniAMR', 'hpccg', 'miniFE', 'miniGhost'), seed: 'int' = 0) -> None",
     "SimulationResult": "class(workload: 'str', architecture: 'str', performance: 'WorkloadPerformance', fast_hit_rate: 'float', average_latency_ns: 'float', swaps: 'float', page_faults: 'int', counters: 'CounterSet', cache_mode_fraction: 'Optional[float]' = None) -> None",
     "SweepMetrics": "class(jobs: 'int' = 1, cells: 'List[CellStat]' = <factory>, wall_seconds: 'float' = 0.0, sweeps: 'int' = 0, crashes: 'int' = 0, timeouts: 'int' = 0, errors: 'int' = 0, retries: 'int' = 0, degraded: 'bool' = False, arena_bytes: 'int' = 0, arena_hits: 'int' = 0) -> None",
     "SweepOutcome": "class(results: 'Mapping[Tuple[str, str], SimulationResult]', metrics: 'SweepMetrics', events: 'Mapping[Tuple[str, str], List[TelemetryEvent]]' = <factory>) -> None",
+    "SweepRequest": "class(designs: 'Tuple[str, ...]', workloads: 'Tuple[str, ...]', fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, seed: 'int' = 0, client: 'str' = 'anon', priority: 'int' = 0) -> None",
     "SystemConfig": "class(num_cores: 'int' = 12, core: 'CoreConfig' = <factory>, l1: 'CacheLevelConfig' = <factory>, l2: 'CacheLevelConfig' = <factory>, l3: 'CacheLevelConfig' = <factory>, fast_mem: 'DramConfig' = <factory>, slow_mem: 'DramConfig' = <factory>, segment_bytes: 'int' = 2048, page_bytes: 'int' = 4096, page_fault_latency_cycles: 'int' = 100000) -> None",
     "TimelineRecorder": "class() -> 'None'",
     "WorkloadSpec": "class(name: 'str', footprint_bytes: 'int', base_seconds: 'float', page_touch_rate: 'float' = 200000.0, locality: 'float' = 0.6, alloc_fraction: 'float' = 0.05) -> None",
@@ -135,7 +138,7 @@ FROZEN_SURFACE = {
     "read_trace": "function(path: 'str | Path') -> 'Iterator[AccessRecord]'",
     "scaled_config": "function(*, fast_mb: 'float' = 4.0, ratio: 'int' = 5, segment_bytes: 'int' = 2048) -> 'SystemConfig'",
     "simulate": "function(*, design: 'Union[str, MemoryArchitecture]', workload: 'Union[str, MultiprogramWorkload]', config: 'Optional[SystemConfig]' = None, accesses_per_core: 'int' = 2000, warmup_per_core: 'Optional[int]' = None, num_copies: 'int' = 12, seed: 'int' = 0, kernel: 'str' = 'auto', apply_isa: 'bool' = True, telemetry: 'Optional[EventBus]' = None) -> 'SimulationResult'",
-    "sweep": "function(*, designs: 'Optional[Sequence[str]]' = None, scale: 'Optional[Scale]' = None, jobs: 'int' = 1, cache_dir: 'Optional[Union[str, Path]]' = None, audit: 'bool' = False, arena: 'bool' = True, arena_budget: 'Optional[int]' = None) -> 'SweepOutcome'",
+    "sweep": "function(*, designs: 'Optional[Sequence[str]]' = None, scale: 'Optional[Scale]' = None, jobs: 'int' = 1, cache_dir: 'Optional[Union[str, Path]]' = None, audit: 'bool' = False, arena: 'bool' = True, arena_budget: 'Optional[int]' = None, timeout: 'Optional[float]' = None, retries: 'Optional[int]' = None) -> 'SweepOutcome'",
     "workloads": "function() -> 'Tuple[BenchmarkSpec, ...]'",
     "write_trace": "function(path: 'str | Path', records: 'Iterable[AccessRecord]') -> 'int'",
 }
@@ -147,7 +150,7 @@ class TestFrozenApiSurface:
         assert set(api.__all__) == set(FROZEN_SURFACE)
 
     def test_api_version(self):
-        assert api.API_VERSION == 2
+        assert api.API_VERSION == 3
 
     @pytest.mark.parametrize("name", sorted(FROZEN_SURFACE))
     def test_name_matches_snapshot(self, name):

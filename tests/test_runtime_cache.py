@@ -1,8 +1,9 @@
 """The persistent result cache: hit/miss accounting, cross-process
 persistence, version invalidation, corruption tolerance, eviction,
-maintenance."""
+maintenance, concurrent-writer safety."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -210,3 +211,37 @@ class TestEvictionAndMaintenance:
     def test_default_dir_honours_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         assert default_cache_dir() == tmp_path / "envcache"
+
+
+def _racing_put(root, barrier, repeats):
+    cache = ResultCache(root)
+    result = simulate_cell(TINY_SCALE, "PoM", "mcf")
+    barrier.wait()  # maximise overlap between the two writers
+    for _ in range(repeats):
+        cache.put(TINY_SCALE, "PoM", "mcf", result)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_same_key(self, tmp_path, result):
+        """Regression: ``put`` used one shared ``.tmp`` staging path,
+        so two processes storing the same key could interleave writes
+        and publish a torn entry.  Unique staging names + ``os.replace``
+        must leave a valid entry and no stray temp files."""
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_racing_put, args=(str(tmp_path), barrier, 25)
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        cache = ResultCache(tmp_path)
+        assert cache.get(TINY_SCALE, "PoM", "mcf") == result
+        assert cache.stats.corrupt == 0
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
