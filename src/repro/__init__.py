@@ -60,6 +60,7 @@ from repro.sim import (
     KERNELS,
     AutoNumaMemory,
     FirstTouchMemory,
+    KernelDecision,
     SimulationResult,
     select_kernel,
     simulate,
@@ -106,6 +107,7 @@ __all__ = [
     "ChameleonOptArchitecture",
     "ChameleonSharedPool",
     "KERNELS",
+    "KernelDecision",
     "AutoNumaMemory",
     "FirstTouchMemory",
     "SimulationResult",

@@ -6,4 +6,4 @@ it) can import the string without importing the whole :mod:`repro`
 namespace.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

@@ -40,15 +40,25 @@ from repro.workloads import benchmark, build_workload
 #: Wire-format version of ``BENCH_kernel.json``.
 #: 2: added the ``sweep_setup`` arena section.
 #: 3: added the ``serve_latency`` service section.
-BENCH_SCHEMA_VERSION = 3
+#: 4: per-design ``reason`` (kernel-selection rationale) and the
+#:    pager-backed ``baseline_20GB_DDR3`` row (batched-paged kernel).
+BENCH_SCHEMA_VERSION = 4
 
 #: Default output path of the ``bench`` subcommand.
 DEFAULT_BENCH_OUT = "BENCH_kernel.json"
 
-#: Designs timed by the kernel benchmark: the figure-15 comparison set.
-#: Alloy-Cache is pager-backed and exercises the scalar fallback; the
-#: other three run the batched kernel under ``kernel="auto"``.
-BENCH_DESIGNS = ("Alloy-Cache", "PoM", "Chameleon", "Chameleon-Opt")
+#: Designs timed by the kernel benchmark: the figure-15 comparison set
+#: plus the under-provisioned flat baseline.  Alloy-Cache and
+#: baseline_20GB_DDR3 are pager-backed and exercise the fault-segmented
+#: ``batched-paged`` kernel; the other three run the plain batched
+#: kernel under ``kernel="auto"``.
+BENCH_DESIGNS = (
+    "Alloy-Cache",
+    "baseline_20GB_DDR3",
+    "PoM",
+    "Chameleon",
+    "Chameleon-Opt",
+)
 
 #: Throughput-measurement scale: long enough that per-access cost
 #: dominates fixed setup, small enough for CI (24k accesses per run).
@@ -97,8 +107,9 @@ def _throughput(label: str, scale: Scale, kernel: str, repeats: int) -> float:
     return total / best
 
 
-def _parity_check(label: str, scale: Scale) -> tuple[bool, str]:
-    """(parity, auto-resolved kernel) for ``label`` at ``scale``.
+def _parity_check(label: str, scale: Scale):
+    """(parity, auto-resolved :class:`~repro.sim.KernelDecision`) for
+    ``label`` at ``scale``.
 
     Parity compares the full wire form *and* the telemetry event stream
     of a forced-scalar run against ``kernel="auto"``.
@@ -317,11 +328,12 @@ def run_kernel_bench(
     """Run the whole benchmark; returns the ``BENCH_kernel.json`` payload."""
     designs: Dict[str, Any] = {}
     for label in BENCH_DESIGNS:
-        parity, resolved = _parity_check(label, SMOKE_SCALE)
+        parity, decision = _parity_check(label, SMOKE_SCALE)
         scalar_rate = _throughput(label, scale, "scalar", repeats)
         auto_rate = _throughput(label, scale, "auto", repeats)
         designs[label] = {
-            "kernel": resolved,
+            "kernel": decision.kernel,
+            "reason": decision.reason,
             "parity": parity,
             "scalar_accesses_per_sec": round(scalar_rate, 1),
             "auto_accesses_per_sec": round(auto_rate, 1),
@@ -349,7 +361,8 @@ def run_bench_command(
     print(f"kernel benchmark ({payload['repeats']} repeats, best-of)")
     for label, row in payload["designs"].items():
         print(
-            f"  {label:14s} kernel={row['kernel']:8s} "
+            f"  {label:18s} kernel={row['kernel']:13s} "
+            f"[{row['reason']}] "
             f"scalar={row['scalar_accesses_per_sec']:>10,.0f}/s "
             f"auto={row['auto_accesses_per_sec']:>10,.0f}/s "
             f"({row['speedup_vs_scalar']:.2f}x) "

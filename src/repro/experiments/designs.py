@@ -33,7 +33,12 @@ from repro.core import (
     ChameleonSharedPool,
 )
 from repro.osmodel.autonuma import AutoNumaConfig
-from repro.sim import AutoNumaMemory, FirstTouchMemory
+from repro.sim import (
+    AutoNumaMemory,
+    FirstTouchMemory,
+    KernelDecision,
+    select_kernel,
+)
 
 DesignFactory = Callable[[SystemConfig], MemoryArchitecture]
 
@@ -181,6 +186,22 @@ def _autonuma(threshold: float) -> DesignFactory:
     return make
 
 
+def kernel_decision(label: str, config: SystemConfig) -> KernelDecision:
+    """Which replay kernel ``kernel="auto"`` resolves to for ``label``.
+
+    Builds the design's architecture at ``config`` and asks
+    :func:`repro.sim.select_kernel` (with no workload — the decision is
+    label-level, every registry workload provides ``stream_batches``).
+    Used by the sweep runtime and the serving layer to surface *why* a
+    design runs on a given kernel without simulating anything.
+    """
+    architecture = REGISTRY.get(label).factory(config)
+    pager_present = (
+        architecture.os_visible_bytes < config.total_capacity_bytes
+    )
+    return select_kernel(architecture, None, pager_present)
+
+
 # ----------------------------------------------------------------------
 # The registry: every design the paper evaluates, by figure label
 # ----------------------------------------------------------------------
@@ -270,4 +291,5 @@ __all__ = [
     "DesignRegistry",
     "DesignSpec",
     "REGISTRY",
+    "kernel_decision",
 ]

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro.config import PAGE_BYTES, PAGE_FAULT_LATENCY_CYCLES, THP_BYTES
 from repro.osmodel.buddy import OutOfMemoryError
@@ -41,13 +43,25 @@ class AddressSpace:
         self.pid = pid
         self.page_bytes = page_bytes
         self._mappings: Dict[int, Mapping] = {}  # vpage -> Mapping
+        # One-entry translation cache: consecutive accesses to the same
+        # virtual page (the common case in the scalar replay loop) skip
+        # the mapping lookup.  Only positive lookups are cached, so new
+        # mappings become visible without invalidation; unmap drops it.
+        self._cached_vpage = -1
+        self._cached_mapping: Optional[Mapping] = None
 
     def translate(self, vaddr: int) -> Optional[int]:
         """Physical address for ``vaddr``, or None when unmapped."""
         vpage = vaddr // self.page_bytes
-        mapping = self._mappings.get(vpage)
-        if mapping is None:
-            return None
+        if vpage == self._cached_vpage:
+            mapping = self._cached_mapping
+            assert mapping is not None
+        else:
+            mapping = self._mappings.get(vpage)
+            if mapping is None:
+                return None
+            self._cached_vpage = vpage
+            self._cached_mapping = mapping
         return mapping.physical + (vaddr - mapping.virtual)
 
     def map(self, vaddr: int, paddr: int, size: int) -> None:
@@ -72,6 +86,8 @@ class AddressSpace:
         first = mapping.virtual // self.page_bytes
         for index in range(mapping.size // self.page_bytes):
             del self._mappings[first + index]
+        self._cached_vpage = -1
+        self._cached_mapping = None
         return mapping
 
     def mapped_bytes(self) -> int:
@@ -191,6 +207,27 @@ class PageFaultEngine:
         self._free_frames: list[int] = []
         self._next_frame = 0
         self._swapped_out: set[int] = set()
+        # Dense page -> frame mirror of ``_resident`` (-1 when not
+        # resident), kept in lock-step by every insert/evict so
+        # :meth:`translate_batch` can resolve whole columns with one
+        # vectorised lookup.  Grown geometrically on demand.
+        self._frame_table = np.full(1024, -1, dtype=np.int64)
+        # Bumped on every eviction: a batched kernel holding
+        # pre-translated columns must revalidate them when the epoch
+        # moves (insertions never invalidate an existing translation,
+        # so they do not bump it).
+        self._epoch = 0
+
+    def _table_set(self, page: int, frame: int) -> None:
+        table = self._frame_table
+        if page >= table.shape[0]:
+            grown = np.full(
+                max(2 * (page + 1), 2 * table.shape[0]), -1, dtype=np.int64
+            )
+            grown[: table.shape[0]] = table
+            self._frame_table = grown
+            table = grown
+        table[page] = frame
 
     def access(self, address: int) -> int:
         """Access ``address``; returns the fault cost in cycles (0 on hit)."""
@@ -213,12 +250,15 @@ class PageFaultEngine:
                 victim, freed = self._resident.popitem(last=False)
                 self._swapped_out.add(victim)
                 self._free_frames.append(freed)
+                self._frame_table[victim] = -1
+                self._epoch += 1
             if self._free_frames:
                 frame = self._free_frames.pop()
             else:
                 frame = self._next_frame
                 self._next_frame += 1
             self._resident[page] = frame
+            self._table_set(page, frame)
 
     def access_translate(
         self, address: int, now_ns: float = 0.0
@@ -247,6 +287,8 @@ class PageFaultEngine:
             self._swapped_out.add(victim)
             self._free_frames.append(freed)
             self.counters.add("fault.evictions")
+            self._frame_table[victim] = -1
+            self._epoch += 1
             major = True
         if self._free_frames:
             frame = self._free_frames.pop()
@@ -254,6 +296,7 @@ class PageFaultEngine:
             frame = self._next_frame
             self._next_frame += 1
         self._resident[page] = frame
+        self._table_set(page, frame)
         bus = self.telemetry
         if bus.enabled:
             bus.emit(PageFaultEvent(time_ns=now_ns, page=page, major=major))
@@ -262,6 +305,70 @@ class PageFaultEngine:
             return self.fault_latency_cycles, frame * self.page_bytes + offset
         self.counters.add("fault.minor_faults")
         return 0, frame * self.page_bytes + offset
+
+    # -- vectorised fast path (the batched-paged kernel) ---------------
+
+    def translate_batch(
+        self, addresses: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Resolve a column of addresses against the resident set.
+
+        Returns ``(physical, pages, n_resident)``: the translated
+        prefix of ``addresses`` up to (excluding) the first lane whose
+        page is not resident, the pages of that prefix, and its length.
+        ``n_resident == len(addresses)`` means the whole column is
+        resident.  Pure lookup — no LRU recency update, no counters, no
+        events; the caller replays those effects (see
+        :meth:`touch_resident` / :meth:`note_resident_hits`) to stay
+        bit-identical with the scalar :meth:`access_translate` path.
+        """
+        pages = addresses // self.page_bytes
+        table = self._frame_table
+        frames = np.where(
+            pages < table.shape[0],
+            table[np.minimum(pages, table.shape[0] - 1)],
+            -1,
+        )
+        missing = np.flatnonzero(frames < 0)
+        n_resident = int(missing[0]) if missing.size else len(addresses)
+        pages = pages[:n_resident]
+        physical = frames[:n_resident] * self.page_bytes + (
+            addresses[:n_resident] - pages * self.page_bytes
+        )
+        return physical, pages, n_resident
+
+    def touch_resident(self, page: int) -> None:
+        """Replay one resident access's LRU recency update (the
+        ``move_to_end`` that :meth:`access_translate` would have done)."""
+        self._resident.move_to_end(page)
+
+    def touch_resident_many(self, pages: Iterable[int]) -> None:
+        """Replay a run of deferred LRU touches in the given order
+        (bulk :meth:`touch_resident` without per-page call overhead)."""
+        move = self._resident.move_to_end
+        for page in pages:
+            move(page)
+
+    def note_resident_hits(self, count: int) -> None:
+        """Bulk-account ``count`` resident hits served off the
+        vectorised path (one ``fault.resident_hits`` tick each)."""
+        if count:
+            self.counters.add("fault.resident_hits", count)
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    def eviction_candidate(self) -> Optional[int]:
+        """Page the next fault-driven eviction would swap out — the LRU
+        head when the resident set is full, else ``None``."""
+        if len(self._resident) < self.capacity_pages:
+            return None
+        return next(iter(self._resident))
+
+    @property
+    def epoch(self) -> int:
+        """Eviction counter; see ``_epoch``."""
+        return self._epoch
 
     @property
     def page_faults(self) -> int:

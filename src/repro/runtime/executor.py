@@ -341,6 +341,19 @@ class SweepExecutor:
                 else:
                     pending.append((design, workload))
 
+            if pending:
+                # Surface which replay kernel each simulated cell will
+                # resolve to (cache/journal hits never pick a kernel).
+                from repro.experiments.designs import kernel_decision
+
+                config = scale.config()
+                decisions = {
+                    design: kernel_decision(design, config)
+                    for design in sorted({d for d, _ in pending})
+                }
+                for design, _ in pending:
+                    self.metrics.record_kernel(decisions[design])
+
             if self.arena and pending:
                 arena = TraceArena.publish(
                     scale,

@@ -10,7 +10,7 @@ capacity ratio) still reports one coherent summary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 #: Where a finished cell's result came from.
 SOURCE_SIMULATED = "simulated"
@@ -58,6 +58,9 @@ class SweepMetrics:
     #: (across sweeps) and cells dispatched with an arena available.
     arena_bytes: int = 0
     arena_hits: int = 0
+    #: Simulated cells by replay kernel: ``"kernel[reason]"`` -> count
+    #: (the :class:`~repro.sim.KernelDecision` each design resolved to).
+    kernels: Dict[str, int] = field(default_factory=dict)
 
     def record_cell(self, stat: CellStat) -> None:
         self.cells.append(stat)
@@ -85,6 +88,12 @@ class SweepMetrics:
     def record_arena_hit(self) -> None:
         """Count one cell simulated with a published arena attached."""
         self.arena_hits += 1
+
+    def record_kernel(self, decision) -> None:
+        """Count one simulated cell's resolved replay kernel
+        (a :class:`~repro.sim.KernelDecision` or ``(kernel, reason)``)."""
+        key = f"{decision[0]}[{decision[1]}]"
+        self.kernels[key] = self.kernels.get(key, 0) + 1
 
     # -- derived -------------------------------------------------------
 
@@ -165,6 +174,11 @@ class SweepMetrics:
             line += (
                 f" arena-bytes={self.arena_bytes}"
                 f" arena-hits={self.arena_hits}"
+            )
+        if self.kernels:
+            line += " kernels=" + ",".join(
+                f"{key}:{count}"
+                for key, count in sorted(self.kernels.items())
             )
         if self.degraded:
             line += " degraded=serial"

@@ -24,7 +24,9 @@ from collections import deque
 from typing import Any, Deque, Dict, Optional
 
 #: Version of the ``GET /metrics`` payload shape.
-METRICS_SCHEMA_VERSION = 1
+#: 2: ``dispatch.kernels`` — dispatched cells by resolved replay
+#:    kernel, keyed ``"kernel[reason]"``.
+METRICS_SCHEMA_VERSION = 2
 
 #: How a completed request was served (latency reservoir tags).
 SERVED_FAST = "served"        # cache / job-table / coalesced — no worker
@@ -64,12 +66,21 @@ class ServerMetrics:
         # Dispatch path.
         self.batches = 0
         self.worker_cells = 0   # cells handed to the sweep executor
+        #: Dispatched cells by resolved replay kernel:
+        #: ``"kernel[reason]"`` -> count.
+        self.kernels: Dict[str, int] = {}
         self._latencies: Deque[tuple] = deque(maxlen=window)
 
     # -- recording -----------------------------------------------------
 
     def record_latency(self, seconds: float, source: str) -> None:
         self._latencies.append((seconds, source))
+
+    def record_kernel(self, decision) -> None:
+        """Count one dispatched cell's replay kernel (a
+        :class:`~repro.sim.KernelDecision` or ``(kernel, reason)``)."""
+        key = f"{decision[0]}[{decision[1]}]"
+        self.kernels[key] = self.kernels.get(key, 0) + 1
 
     # -- derived -------------------------------------------------------
 
@@ -140,6 +151,7 @@ class ServerMetrics:
             "dispatch": {
                 "batches": self.batches,
                 "worker_cells": self.worker_cells,
+                "kernels": dict(sorted(self.kernels.items())),
             },
             "cache_hit_ratio": round(self.cache_hit_ratio, 4),
             "latency": self.latency_block(),

@@ -11,6 +11,7 @@ capacity, and rolling per-core stats into the paper's metrics
 from repro.sim.engine import (
     KERNELS,
     RESULT_SCHEMA_VERSION,
+    KernelDecision,
     SimulationResult,
     select_kernel,
     simulate,
@@ -19,6 +20,7 @@ from repro.sim.os_designs import AutoNumaMemory, FirstTouchMemory
 
 __all__ = [
     "KERNELS",
+    "KernelDecision",
     "RESULT_SCHEMA_VERSION",
     "SimulationResult",
     "select_kernel",

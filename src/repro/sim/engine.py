@@ -7,26 +7,32 @@ time order so the device models always see monotonic arrivals.  Designs
 whose OS-visible capacity is smaller than the address space get an
 LRU-paged resident set charging the Table I SSD fault latency.
 
-Two replay kernels produce bit-identical results:
+Three replay kernels produce bit-identical results:
 
 * the **scalar** kernel — the reference two-phase heap loop that drives
   :meth:`MemoryArchitecture.access` one record at a time; always
-  correct, required whenever an OS pager intercepts the address stream;
+  correct;
 * the **batched** kernel — consumes the workload's vectorised
   :class:`repro.trace.RecordBatch` chunks, runs a single-phase heap
   over plain tuples, calls the allocation-free
   :meth:`~MemoryArchitecture.access_timing` demand path, and defers all
-  counter/histogram accounting to bulk flushes at phase boundaries.
+  counter/histogram accounting to bulk flushes at phase boundaries;
+* the **batched-paged** kernel — the batched machinery for pager-backed
+  designs: each chunk is split at page-fault boundaries, resident runs
+  are pre-translated in one vectorised pass, and faults are serviced on
+  the scalar slow path before the fast path resumes (see
+  :func:`_run_batched_paged` for the exactness argument).
 
-``kernel="auto"`` (the default) picks the batched kernel whenever it is
-exact — see :func:`select_kernel` — so callers never trade accuracy for
-speed.
+``kernel="auto"`` (the default) picks the fastest exact kernel — see
+:func:`select_kernel`, which also reports *why* as a machine-readable
+:class:`KernelDecision` — so callers never trade accuracy for speed.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional
 
 from repro.arch.base import MemoryArchitecture
 from repro.config import SystemConfig
@@ -50,7 +56,36 @@ RESULT_SCHEMA_VERSION = 1
 TELEMETRY_EPOCHS = 20
 
 #: Valid values of :func:`simulate`'s ``kernel`` argument.
-KERNELS = ("auto", "batched", "scalar")
+KERNELS = ("auto", "batched", "batched-paged", "scalar")
+
+#: Heap-entry kinds of the batched-paged kernel's single-phase heap.
+_K_ISSUE = 0
+_K_FAULT = 1
+
+#: Deferred-LRU-touch backlog size that triggers a mid-phase compaction
+#: in the batched-paged kernel (bounds memory on fault-free runs).
+_TOUCH_COMPACT_LIMIT = 1 << 16
+
+
+class KernelDecision(NamedTuple):
+    """Outcome of :func:`select_kernel`: the chosen replay kernel plus
+    a stable machine-readable reason.
+
+    Reasons:
+
+    * ``"batch-capable"`` — no pager, architecture and workload both
+      support the chunked fast path (``batched``);
+    * ``"pager-segmented"`` — an OS pager intercepts the stream, but
+      the run can still be split at fault boundaries
+      (``batched-paged``);
+    * ``"arch-opt-out"`` — the architecture does not support the
+      batched demand path (``scalar``);
+    * ``"no-stream-batches"`` — the workload cannot produce vectorised
+      record chunks (``scalar``).
+    """
+
+    kernel: str
+    reason: str
 
 
 @dataclass
@@ -118,34 +153,57 @@ class SimulationResult:
 
 def select_kernel(
     architecture: MemoryArchitecture,
-    workload: MultiprogramWorkload,
+    workload: Optional[MultiprogramWorkload],
     pager_present: bool,
-) -> str:
+) -> KernelDecision:
     """Pick the replay kernel that is exact for this run.
 
-    The batched kernel is chosen only when every one of its
-    preconditions holds:
+    Three-way decision, returned as a :class:`KernelDecision` (a
+    ``(kernel, reason)`` named tuple):
 
-    * **no pager** — page-fault translation rewrites addresses and
-      stalls cores mid-stream, which the batched issue loop does not
-      model; pager-backed designs (caches, under-provisioned flat
-      baselines) always replay through the scalar reference loop;
-    * the architecture opts in via
-      :attr:`~MemoryArchitecture.supports_batch_kernel`;
-    * the workload exposes ``stream_batches`` (vectorised record
-      chunks).
+    * the architecture must opt in via
+      :attr:`~MemoryArchitecture.supports_batch_kernel` and the
+      workload must expose ``stream_batches`` (vectorised record
+      chunks), otherwise the **scalar** reference loop runs;
+    * with both preconditions met, a pager-backed run (OS-visible
+      capacity below the address space) takes the **batched-paged**
+      kernel — the chunked fast path segmented at page-fault
+      boundaries — and a pager-free run takes the plain **batched**
+      kernel.
 
-    Otherwise the scalar kernel is returned.  The two kernels are held
-    bit-identical by the parity suite, so the choice is purely about
-    speed.
+    ``workload`` may be ``None`` for label-level decisions made before
+    a workload is built (the CLI trailer, the serve metrics endpoint);
+    every shipped workload provides ``stream_batches``, so ``None`` is
+    treated as batch-capable.
+
+    All kernels are held bit-identical by the parity suite, so the
+    choice is purely about speed.
     """
-    if pager_present:
-        return "scalar"
     if not getattr(architecture, "supports_batch_kernel", False):
-        return "scalar"
+        return KernelDecision("scalar", "arch-opt-out")
+    if workload is not None and not hasattr(workload, "stream_batches"):
+        return KernelDecision("scalar", "no-stream-batches")
+    if pager_present:
+        return KernelDecision("batched-paged", "pager-segmented")
+    return KernelDecision("batched", "batch-capable")
+
+
+def _require_batch_capable(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    kernel: str,
+) -> None:
+    """Raise when a forced batched-family kernel's shared preconditions
+    (architecture opt-in, vectorised workload chunks) do not hold."""
+    if not getattr(architecture, "supports_batch_kernel", False):
+        raise ValueError(
+            f"{architecture.name} opts out of the {kernel} kernel"
+        )
     if not hasattr(workload, "stream_batches"):
-        return "scalar"
-    return "batched"
+        raise ValueError(
+            "workload does not provide stream_batches(); "
+            f"the {kernel} kernel needs vectorised record chunks"
+        )
 
 
 def simulate(
@@ -170,11 +228,12 @@ def simulate(
     OS-visible capacity, an LRU-paged resident set charges the Table I
     SSD fault latency and remaps faulted pages into the visible range.
 
-    ``kernel`` selects the replay loop: ``"auto"`` (default) uses the
-    fast batched kernel whenever :func:`select_kernel` deems it exact,
-    ``"scalar"`` forces the reference loop, and ``"batched"`` forces
-    the fast path (raising :class:`ValueError` when its preconditions
-    do not hold).  Results are bit-identical either way.
+    ``kernel`` selects the replay loop: ``"auto"`` (default) follows
+    :func:`select_kernel`, ``"scalar"`` forces the reference loop, and
+    ``"batched"`` / ``"batched-paged"`` force the respective fast path
+    (raising :class:`ValueError` when its preconditions do not hold —
+    ``batched`` needs a pager-free design, ``batched-paged`` a
+    pager-backed one).  Results are bit-identical in every case.
     """
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -241,22 +300,23 @@ def _simulate(
         )
 
     if kernel == "auto":
-        kernel = select_kernel(architecture, workload, pager is not None)
+        kernel = select_kernel(architecture, workload, pager is not None).kernel
     elif kernel == "batched":
         if pager is not None:
             raise ValueError(
                 "batched kernel cannot replay pager-backed designs "
-                f"({architecture.name} needs OS paging); use kernel='auto'"
+                f"({architecture.name} needs OS paging); use "
+                "kernel='auto' or kernel='batched-paged'"
             )
-        if not getattr(architecture, "supports_batch_kernel", False):
+        _require_batch_capable(architecture, workload, kernel)
+    elif kernel == "batched-paged":
+        if pager is None:
             raise ValueError(
-                f"{architecture.name} opts out of the batched kernel"
+                "batched-paged kernel needs an OS pager "
+                f"({architecture.name} is not pager-backed); "
+                "use kernel='auto'"
             )
-        if not hasattr(workload, "stream_batches"):
-            raise ValueError(
-                "workload does not provide stream_batches(); "
-                "the batched kernel needs vectorised record chunks"
-            )
+        _require_batch_capable(architecture, workload, kernel)
 
     per_core = [CoreRunStats() for _ in range(workload.num_copies)]
     # Closed-loop timing: each core carries its own clock, advanced by
@@ -286,6 +346,19 @@ def _simulate(
             warmup_per_core,
             per_core,
             core_clock_ns,
+            telemetry,
+            epoch_every,
+        )
+    elif kernel == "batched-paged":
+        _run_batched_paged(
+            architecture,
+            workload,
+            config,
+            accesses_per_core,
+            warmup_per_core,
+            per_core,
+            core_clock_ns,
+            pager,
             telemetry,
             epoch_every,
         )
@@ -638,5 +711,380 @@ def _run_batched(
                 fast_hits=float(epoch_state["fast_hits"]),
                 swaps=counters["swap.swaps"],
                 faults=0,
+            )
+        )
+
+
+def _run_batched_paged(
+    architecture: MemoryArchitecture,
+    workload: MultiprogramWorkload,
+    config: SystemConfig,
+    accesses_per_core: int,
+    warmup_per_core: int,
+    per_core: List[CoreRunStats],
+    core_clock_ns: List[float],
+    pager: PageFaultEngine,
+    telemetry: EventBus | None,
+    epoch_every: int,
+) -> None:
+    """Fault-segmented chunked replay for pager-backed designs.
+
+    Splits each per-core record chunk at page-fault boundaries: runs of
+    resident lanes are pre-translated in one vectorised
+    :meth:`~repro.osmodel.vm.PageFaultEngine.translate_batch` pass and
+    issued through the same single-phase heap as :func:`_run_batched`;
+    the first non-resident lane is serviced on the scalar slow path
+    (exact fault-cycle accounting, event emission, LRU eviction), after
+    which the fast path resumes.  Bit-identical to :func:`_run_scalar`:
+
+    * **Pager mutation order** — the scalar loop touches the pager at
+      each access's *prepare* pop, keyed ``(core clock after previous
+      issue, core)``.  Fault lanes enter the heap as dedicated entries
+      at exactly that key, so faults/evictions interleave with other
+      cores' work in scalar order.  Resident lanes' only pager effect
+      is an LRU ``move_to_end``; those are deferred as ``(prepare key,
+      core, page)`` touch records and replayed in sorted key order
+      before every eviction decision (and at phase end), which leaves
+      the LRU identical at every point where its order is observable.
+    * **Stale translations** — a resident lane pre-translated before an
+      eviction of its page would use a frame the scalar loop re-faults
+      on (its prepare key sorts after the fault).  Such in-flight
+      entries are exactly the deferred touches past the fault key, so
+      the eviction path diverts them back to the slow path at their
+      recorded prepare keys.  Conversely, an access *prepared before*
+      the eviction keeps its stale frame — precisely what the scalar
+      loop does.  Cached column translations are revalidated against
+      the pager's eviction epoch; insertions never invalidate a cached
+      frame (a stale fault horizon just resolves as a resident hit on
+      the slow path, as in the scalar loop).
+    * **Clocks and accounting** — identical float operations in
+      identical order (``gaps_ns`` is precomputed per chunk but
+      bit-equal per record), engine-local accumulators flushed in bulk
+      as in :func:`_run_batched`, and live ``pager.page_faults`` for
+      epoch samples since fault counters advance at correctly-ordered
+      heap pops.
+    """
+    ns_per_instruction = config.ns_per_instruction
+    fault_ns = config.core.cycles_to_ns(config.page_fault_latency_cycles)
+    mlp = config.core.mlp
+    num_cores = workload.num_copies
+    counters = architecture.counters
+    timing = architecture.access_timing
+    access_translate = pager.access_translate
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    page_bytes = pager.page_bytes
+
+    batch_streams = workload.stream_batches(
+        warmup_per_core + accesses_per_core
+    )
+    # Per-core chunk cursors (as in _run_batched) plus a translation
+    # cache over the current chunk: physical/page columns for the
+    # resident run starting at ``trans_base`` and ending at ``horizon``
+    # (the first non-resident lane), valid while ``stamp`` matches the
+    # pager's eviction epoch.
+    addr_np: List[Any] = [None] * num_cores
+    gap_cols: List[Optional[list]] = [None] * num_cores
+    gapns_cols: List[Optional[list]] = [None] * num_cores
+    write_cols: List[Optional[list]] = [None] * num_cores
+    positions = [0] * num_cores
+    lengths = [0] * num_cores
+    phys_cols: List[Optional[list]] = [None] * num_cores
+    page_cols: List[Optional[list]] = [None] * num_cores
+    trans_base = [0] * num_cores
+    horizon = [0] * num_cores
+    stamp = [-1] * num_cores
+
+    def retranslate(core: int, pos: int) -> None:
+        physical, pages, n_resident = pager.translate_batch(
+            addr_np[core][pos:]
+        )
+        phys_cols[core] = physical.tolist()
+        page_cols[core] = pages.tolist()
+        trans_base[core] = pos
+        horizon[core] = pos + n_resident
+        stamp[core] = pager.epoch
+
+    epoch_state = {"epoch": 0}
+
+    def run_phase(budget_per_core: int, record_stats: bool) -> None:
+        if budget_per_core <= 0:
+            return
+        remaining = [budget_per_core] * num_cores
+        latencies: List[float] = []
+        append = latencies.append
+        fast_hits = 0
+        issued = 0
+        inst = [0] * num_cores
+        nacc = [0] * num_cores
+        mlat = [0.0] * num_cores
+        pfault = [0] * num_cores
+        fcycles = [0] * num_cores
+        # Deferred LRU touches of fast-path lanes: (prepare key ns,
+        # core, page).  Per-core keys strictly increase and cores break
+        # ties, so entries are unique and sort deterministically
+        # without ever comparing the page.
+        pending: List[tuple] = []
+        pending_append = pending.append
+        fastpath_hits = 0
+        heap: List[tuple] = []
+        # Pager eviction epoch, mirrored into a local: it only advances
+        # inside the slow-path access_translate calls below, so the hot
+        # issue loop revalidates translations against a plain int.
+        cur_epoch = pager.epoch
+
+        def apply_touches(limit: Optional[tuple]) -> None:
+            """Replay deferred LRU touches in global key order — all of
+            them (``limit=None``, phase end) or those strictly before a
+            fault's ``(time_ns, core)`` heap key."""
+            if not pending:
+                return
+            pending.sort()
+            cut = (
+                len(pending)
+                if limit is None
+                else bisect.bisect_left(pending, limit)
+            )
+            if cut:
+                pager.touch_resident_many(
+                    [entry[2] for entry in pending[:cut]]
+                )
+                del pending[:cut]
+
+        def refill(core: int, clock: float) -> bool:
+            batch = next(batch_streams[core], None)
+            if batch is None:
+                return False
+            addr_np[core] = batch.addresses
+            gap_cols[core] = batch.icount_gaps.tolist()
+            gapns_cols[core] = batch.gaps_ns(ns_per_instruction).tolist()
+            write_cols[core] = batch.is_writes.tolist()
+            lengths[core] = len(gap_cols[core])
+            positions[core] = 0
+            retranslate(core, 0)
+            # Compaction: on (nearly) fault-free runs nothing drains
+            # the touch backlog mid-phase, so periodically apply the
+            # prefix that can no longer precede any eviction — every
+            # future fault pops at or after the heap minimum and at or
+            # after this core's next entry (keyed >= ``clock``).
+            if len(pending) >= _TOUCH_COMPACT_LIMIT:
+                floor = min(clock, heap[0][0]) if heap else clock
+                apply_touches((floor, -1))
+            return True
+
+        def push_next(core: int, clock: float) -> bool:
+            """Queue ``core``'s next access: a pre-translated issue
+            entry for resident lanes, or a fault entry keyed at the
+            prepare time for the lane at the fault horizon."""
+            nonlocal fastpath_hits
+            pos = positions[core]
+            while pos >= lengths[core]:
+                if not refill(core, clock):
+                    return False
+                pos = 0
+            positions[core] = pos + 1
+            if (
+                stamp[core] != cur_epoch
+                or pos < trans_base[core]
+                or pos > horizon[core]
+            ):
+                retranslate(core, pos)
+            if pos < horizon[core]:
+                index = pos - trans_base[core]
+                page = page_cols[core][index]
+                pending_append((clock, core, page))
+                fastpath_hits += 1
+                heappush(
+                    heap,
+                    (
+                        clock + gapns_cols[core][pos],
+                        core,
+                        _K_ISSUE,
+                        phys_cols[core][index],
+                        write_cols[core][pos],
+                        gap_cols[core][pos],
+                    ),
+                )
+            else:
+                heappush(
+                    heap,
+                    (
+                        clock,
+                        core,
+                        _K_FAULT,
+                        int(addr_np[core][pos]),
+                        gap_cols[core][pos],
+                        gapns_cols[core][pos],
+                        write_cols[core][pos],
+                    ),
+                )
+            return True
+
+        def divert_stale(victim: int) -> None:
+            """An eviction invalidated ``victim``'s frame: any other
+            core's in-flight pre-translated access to it (exactly the
+            deferred touches past the fault key) must re-enter the heap
+            as a fault entry at its recorded prepare key — the scalar
+            loop prepares those accesses after this fault and re-faults
+            them."""
+            stale = [entry for entry in pending if entry[2] == victim]
+            if not stale:
+                return
+            nonlocal fastpath_hits
+            stale_cores = set()
+            converted = []
+            for entry in stale:
+                pending.remove(entry)
+                fastpath_hits -= 1
+                prep_ns, other, _ = entry
+                stale_cores.add(other)
+                lane = positions[other] - 1
+                converted.append(
+                    (
+                        prep_ns,
+                        other,
+                        _K_FAULT,
+                        int(addr_np[other][lane]),
+                        gap_cols[other][lane],
+                        gapns_cols[other][lane],
+                        write_cols[other][lane],
+                    )
+                )
+            heap[:] = [
+                entry for entry in heap if entry[1] not in stale_cores
+            ] + converted
+            heapq.heapify(heap)
+
+        for core in range(num_cores):
+            if push_next(core, core_clock_ns[core]):
+                remaining[core] -= 1
+
+        while heap:
+            entry = heappop(heap)
+            if entry[2] == _K_FAULT:
+                # Slow-path lane, popped at its scalar prepare key: the
+                # pager sees faults, evictions, and (stale-horizon)
+                # resident hits in exactly the reference order.
+                prep_ns, core, _, address, gap, gapns, is_write = entry
+                apply_touches((prep_ns, core))
+                clock = prep_ns + gapns
+                page = address // page_bytes
+                victim = None
+                if not pager.is_resident(page):
+                    victim = pager.eviction_candidate()
+                fault_cycles, physical = access_translate(
+                    address, now_ns=clock
+                )
+                cur_epoch = pager.epoch
+                if fault_cycles:
+                    if record_stats:
+                        pfault[core] += 1
+                        fcycles[core] += fault_cycles
+                    clock += fault_ns
+                if victim is not None:
+                    divert_stale(victim)
+                core_clock_ns[core] = clock
+                heappush(
+                    heap, (clock, core, _K_ISSUE, physical, is_write, gap)
+                )
+                continue
+
+            issue_ns, core, _, address, is_write, gap = entry
+            latency_ns, fast_hit = timing(address, issue_ns, is_write)
+            append(latency_ns)
+            if fast_hit:
+                fast_hits += 1
+            clock = issue_ns + latency_ns / mlp
+            core_clock_ns[core] = clock
+            if record_stats:
+                inst[core] += gap
+                nacc[core] += 1
+                mlat[core] += latency_ns
+                if epoch_every:
+                    issued += 1
+                    if issued % epoch_every == 0:
+                        epoch_state["epoch"] += 1
+                        # Engine tallies stand in for the deferred
+                        # architecture counters; the pager's fault
+                        # counter is live and correctly ordered, so it
+                        # is read directly (as the scalar loop does).
+                        telemetry.emit(
+                            EpochSample(
+                                time_ns=issue_ns,
+                                epoch=epoch_state["epoch"],
+                                accesses=float(issued),
+                                fast_hits=float(fast_hits),
+                                swaps=counters["swap.swaps"],
+                                faults=pager.page_faults,
+                            )
+                        )
+            if remaining[core] > 0:
+                # Inlined fast path of push_next (profile-driven, as in
+                # _run_batched's chunk cursor): a mid-chunk lane with a
+                # valid translation strictly below the fault horizon
+                # queues without the function call.
+                pos = positions[core]
+                if (
+                    pos < lengths[core]
+                    and stamp[core] == cur_epoch
+                    and trans_base[core] <= pos < horizon[core]
+                ):
+                    positions[core] = pos + 1
+                    index = pos - trans_base[core]
+                    pending_append((clock, core, page_cols[core][index]))
+                    fastpath_hits += 1
+                    heappush(
+                        heap,
+                        (
+                            clock + gapns_cols[core][pos],
+                            core,
+                            _K_ISSUE,
+                            phys_cols[core][index],
+                            write_cols[core][pos],
+                            gap_cols[core][pos],
+                        ),
+                    )
+                    remaining[core] -= 1
+                elif push_next(core, clock):
+                    remaining[core] -= 1
+
+        # Phase barrier: every remaining recency update lands before
+        # anything from the next phase (the scalar loop performed them
+        # during this phase), and the fast-path resident hits are
+        # folded into the pager's (integer) counter in bulk.
+        apply_touches(None)
+        pager.note_resident_hits(fastpath_hits)
+        architecture.record_access_batch(latencies, fast_hits)
+        if record_stats:
+            for core in range(num_cores):
+                stats = per_core[core]
+                stats.instructions = inst[core]
+                stats.memory_accesses = nacc[core]
+                stats.memory_latency_ns = mlat[core]
+                stats.page_faults = pfault[core]
+                stats.fault_cycles = float(fcycles[core])
+            epoch_state["issued"] = issued
+            epoch_state["fast_hits"] = fast_hits
+
+    architecture.begin_batch_stats()
+    try:
+        run_phase(warmup_per_core, record_stats=False)
+        architecture.flush_batch_stats()
+        architecture.counters.reset()
+        run_phase(accesses_per_core, record_stats=True)
+    finally:
+        architecture.end_batch_stats()
+
+    issued = epoch_state.get("issued", 0)
+    if epoch_every and issued % epoch_every:
+        epoch_state["epoch"] += 1
+        telemetry.emit(
+            EpochSample(
+                time_ns=max(core_clock_ns),
+                epoch=epoch_state["epoch"],
+                accesses=float(issued),
+                fast_hits=float(epoch_state["fast_hits"]),
+                swaps=counters["swap.swaps"],
+                faults=pager.page_faults,
             )
         )

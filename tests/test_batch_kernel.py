@@ -14,18 +14,18 @@ import json
 import pytest
 
 from repro.config import scaled_config
-from repro.arch import PoMArchitecture
+from repro.arch import FlatMemory, PoMArchitecture
 from repro.core import ChameleonArchitecture
 from repro.experiments.designs import REGISTRY
 from repro.experiments.runner import SMOKE_SCALE
-from repro.sim import KERNELS, select_kernel, simulate
+from repro.sim import KERNELS, KernelDecision, select_kernel, simulate
 from repro.stats import CounterSet, Histogram
 from repro.telemetry.bus import EventBus
 from repro.telemetry.events import EpochSample
 from repro.telemetry.recorder import EventLog
 from repro.workloads import benchmark, build_workload
 
-#: Designs whose OS-visible capacity forces a pager (scalar fallback).
+#: Designs whose OS-visible capacity forces a pager (batched-paged).
 PAGER_BACKED = {
     "baseline_20GB_DDR3",
     "Alloy-Cache",
@@ -79,7 +79,7 @@ class TestKernelParity:
 
     def test_parity_covers_batched_designs(self, config):
         """The sweep above exercises the batched kernel, not just the
-        scalar fallback — guard against the registry drifting to
+        pager-segmented path — guard against the registry drifting to
         all-pager designs."""
         batched = [
             label
@@ -88,6 +88,11 @@ class TestKernelParity:
         ]
         assert len(batched) >= 3
 
+    def test_parity_covers_pager_backed_designs(self):
+        """And the converse: the registry keeps pager-backed designs so
+        the sweep exercises the batched-paged kernel."""
+        assert PAGER_BACKED <= set(REGISTRY.labels())
+
 
 class TestKernelSelection:
     @pytest.fixture(scope="class")
@@ -95,22 +100,33 @@ class TestKernelSelection:
         return SMOKE_SCALE.config()
 
     def test_kernels_constant(self):
-        assert KERNELS == ("auto", "batched", "scalar")
+        assert KERNELS == ("auto", "batched", "batched-paged", "scalar")
 
     @pytest.mark.parametrize("label", sorted(PAGER_BACKED))
-    def test_pager_backed_designs_fall_back_to_scalar(self, label, config):
+    def test_pager_backed_designs_select_batched_paged(self, label, config):
         architecture = REGISTRY.get(label).factory(config)
         workload = _smoke_workload(config)
         pager_present = (
             architecture.os_visible_bytes < config.total_capacity_bytes
         )
         assert pager_present
-        assert select_kernel(architecture, workload, pager_present) == "scalar"
+        decision = select_kernel(architecture, workload, pager_present)
+        assert decision == KernelDecision("batched-paged", "pager-segmented")
+        assert decision.kernel == "batched-paged"
+        assert decision.reason == "pager-segmented"
 
     def test_pom_selects_batched(self, config):
         architecture = PoMArchitecture(config)
         workload = _smoke_workload(config)
-        assert select_kernel(architecture, workload, False) == "batched"
+        assert select_kernel(architecture, workload, False) == KernelDecision(
+            "batched", "batch-capable"
+        )
+
+    def test_decision_is_a_pair(self, config):
+        """KernelDecision unpacks as a (kernel, reason) tuple."""
+        kernel, reason = select_kernel(PoMArchitecture(config), None, False)
+        assert kernel == "batched"
+        assert reason == "batch-capable"
 
     def test_forced_batched_rejects_pager_backed_design(self, config):
         architecture = REGISTRY.get("Alloy-Cache").factory(config)
@@ -124,6 +140,18 @@ class TestKernelSelection:
                 kernel="batched",
             )
 
+    def test_forced_batched_paged_rejects_pagerless_design(self, config):
+        architecture = PoMArchitecture(config)
+        workload = _smoke_workload(config)
+        with pytest.raises(ValueError, match="pager"):
+            simulate(
+                architecture,
+                workload,
+                accesses_per_core=50,
+                warmup_per_core=0,
+                kernel="batched-paged",
+            )
+
     def test_unknown_kernel_rejected(self, config):
         architecture = PoMArchitecture(config)
         workload = _smoke_workload(config)
@@ -135,6 +163,90 @@ class TestKernelSelection:
                 warmup_per_core=0,
                 kernel="vectorised",
             )
+
+
+class TestFaultSegmentParity:
+    """batched-paged == scalar under real fault pressure.
+
+    The registry parity sweep above runs the pager-backed designs at
+    capacities where faults are rare; these cases shrink a FlatMemory's
+    capacity until the fault machinery dominates — constant thrash at
+    the smallest fraction exercises faults on every lane of a chunk
+    (lane 0, last lane, consecutive faults), LRU evictions mid-chunk,
+    and the stale-translation diversion path, while the larger
+    fractions mix long resident streaks with occasional faults.
+    """
+
+    #: Fraction of total capacity the flat device exposes.  1e-7 floors
+    #: at one page (every access faults); 0.6 leaves faults rare.
+    FRACTIONS = (1e-7, 1e-3, 0.02, 0.6)
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return SMOKE_SCALE.config()
+
+    def _run_flat(self, config, fraction, kernel, *, warmup=300):
+        capacity = max(
+            int(config.total_capacity_bytes * fraction), config.page_bytes
+        )
+        architecture = FlatMemory(config, capacity_bytes=capacity)
+        assert architecture.os_visible_bytes < config.total_capacity_bytes
+        workload = _smoke_workload(config)
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        result = simulate(
+            architecture,
+            workload,
+            accesses_per_core=300,
+            warmup_per_core=warmup,
+            telemetry=bus,
+            kernel=kernel,
+        )
+        return result, [event.to_dict() for event in log.events]
+
+    @pytest.mark.parametrize("fraction", FRACTIONS)
+    def test_fault_heavy_parity(self, config, fraction):
+        scalar_result, scalar_events = self._run_flat(
+            config, fraction, "scalar"
+        )
+        paged_result, paged_events = self._run_flat(
+            config, fraction, "batched-paged"
+        )
+        assert json.dumps(
+            paged_result.to_dict(), sort_keys=True
+        ) == json.dumps(scalar_result.to_dict(), sort_keys=True)
+        assert paged_events == scalar_events
+        assert paged_result.page_faults == scalar_result.page_faults
+
+    def test_thrash_faults_are_measured(self, config):
+        """The smallest fraction really does fault in the measured
+        window — the parity case above is not vacuous."""
+        result, events = self._run_flat(config, self.FRACTIONS[0], "scalar")
+        assert result.page_faults > 0
+        kinds = {event["kind"] for event in events}
+        assert "page_fault" in kinds
+
+    def test_warmup_boundary_fault_parity(self, config):
+        """Faults straddling the warmup/measured boundary: warmup
+        faults mutate LRU state and emit events but must not leak into
+        measured fault tallies, identically on both kernels."""
+        scalar_result, scalar_events = self._run_flat(
+            config, 1e-3, "scalar", warmup=301
+        )
+        paged_result, paged_events = self._run_flat(
+            config, 1e-3, "batched-paged", warmup=301
+        )
+        assert json.dumps(
+            paged_result.to_dict(), sort_keys=True
+        ) == json.dumps(scalar_result.to_dict(), sort_keys=True)
+        assert paged_events == scalar_events
+        # Warmup faulted (events precede measurement) yet measured
+        # tallies count only the measured window.
+        faults_seen = sum(
+            1 for event in scalar_events if event["kind"] == "page_fault"
+        )
+        assert faults_seen >= scalar_result.page_faults
 
 
 class TestTelemetryBusHygiene:

@@ -122,7 +122,7 @@ FROZEN_SURFACE = {
     "SimRequest": "class(design: 'str', workload: 'str', fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, seed: 'int' = 0, client: 'str' = 'anon', priority: 'int' = 0) -> None",
     "Scale": "class(fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, benchmarks: 'Tuple[str, ...]' = ('bwaves', 'lbm', 'cactusADM', 'leslie3d', 'mcf', 'GemsFDTD', 'SP', 'stream', 'cloverleaf', 'comd', 'miniAMR', 'hpccg', 'miniFE', 'miniGhost'), seed: 'int' = 0) -> None",
     "SimulationResult": "class(workload: 'str', architecture: 'str', performance: 'WorkloadPerformance', fast_hit_rate: 'float', average_latency_ns: 'float', swaps: 'float', page_faults: 'int', counters: 'CounterSet', cache_mode_fraction: 'Optional[float]' = None) -> None",
-    "SweepMetrics": "class(jobs: 'int' = 1, cells: 'List[CellStat]' = <factory>, wall_seconds: 'float' = 0.0, sweeps: 'int' = 0, crashes: 'int' = 0, timeouts: 'int' = 0, errors: 'int' = 0, retries: 'int' = 0, degraded: 'bool' = False, arena_bytes: 'int' = 0, arena_hits: 'int' = 0) -> None",
+    "SweepMetrics": "class(jobs: 'int' = 1, cells: 'List[CellStat]' = <factory>, wall_seconds: 'float' = 0.0, sweeps: 'int' = 0, crashes: 'int' = 0, timeouts: 'int' = 0, errors: 'int' = 0, retries: 'int' = 0, degraded: 'bool' = False, arena_bytes: 'int' = 0, arena_hits: 'int' = 0, kernels: 'Dict[str, int]' = <factory>) -> None",
     "SweepOutcome": "class(results: 'Mapping[Tuple[str, str], SimulationResult]', metrics: 'SweepMetrics', events: 'Mapping[Tuple[str, str], List[TelemetryEvent]]' = <factory>) -> None",
     "SweepRequest": "class(designs: 'Tuple[str, ...]', workloads: 'Tuple[str, ...]', fast_mb: 'float' = 4.0, ratio: 'int' = 5, accesses_per_core: 'int' = 1500, warmup_per_core: 'int' = 1500, num_copies: 'int' = 12, seed: 'int' = 0, client: 'str' = 'anon', priority: 'int' = 0) -> None",
     "SystemConfig": "class(num_cores: 'int' = 12, core: 'CoreConfig' = <factory>, l1: 'CacheLevelConfig' = <factory>, l2: 'CacheLevelConfig' = <factory>, l3: 'CacheLevelConfig' = <factory>, fast_mem: 'DramConfig' = <factory>, slow_mem: 'DramConfig' = <factory>, segment_bytes: 'int' = 2048, page_bytes: 'int' = 4096, page_fault_latency_cycles: 'int' = 100000) -> None",
