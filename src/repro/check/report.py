@@ -1,0 +1,140 @@
+"""The schema-versioned ``CHECK_report.json`` record.
+
+One check run produces one report: per-cell golden verdicts, per-path
+digests, metamorphic invariant outcomes, and fuzz results, plus enough
+provenance (seed, sample, scale identity, package version) to replay
+the run exactly.  CI uploads the file as an artifact; the schema
+version gates consumers the same way the result and bench schemas do.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.check.fuzz import FuzzOutcome
+from repro.check.oracle import InvariantResult, PathResult
+
+REPORT_SCHEMA_VERSION = 1
+
+#: Golden comparison statuses.
+GOLDEN_MATCH = "match"
+GOLDEN_MISMATCH = "mismatch"
+GOLDEN_MISSING = "missing"
+GOLDEN_BLESSED = "blessed"
+
+
+@dataclass
+class CellReport:
+    """One cell's full verdict."""
+
+    design: str
+    workload: str
+    result_digest: str
+    events_digest: str
+    golden_status: str
+    golden_detail: str = ""
+    paths: List[PathResult] = field(default_factory=list)
+    invariants: List[InvariantResult] = field(default_factory=list)
+
+    @property
+    def paths_agree(self) -> bool:
+        results = {p.result_digest for p in self.paths}
+        events = {
+            p.events_digest for p in self.paths if p.events_digest is not None
+        }
+        return len(results) <= 1 and len(events) <= 1
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.golden_status in (GOLDEN_MATCH, GOLDEN_BLESSED)
+            and self.paths_agree
+            and all(i.passed for i in self.invariants)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design,
+            "workload": self.workload,
+            "result_digest": self.result_digest,
+            "events_digest": self.events_digest,
+            "golden": {
+                "status": self.golden_status,
+                "detail": self.golden_detail,
+            },
+            "paths": [p.to_dict() for p in self.paths],
+            "paths_agree": self.paths_agree,
+            "invariants": [i.to_dict() for i in self.invariants],
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class CheckReport:
+    """The whole run."""
+
+    version: str
+    scale: Dict[str, Any]
+    seed: int
+    sample: int
+    bless: bool
+    goldens_dir: str
+    cells: List[CellReport] = field(default_factory=list)
+    fuzz: List[FuzzOutcome] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.error is None
+            and all(cell.passed for cell in self.cells)
+            and all(outcome.passed for outcome in self.fuzz)
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        failed = [c for c in self.cells if not c.passed]
+        return {
+            "cells": len(self.cells),
+            "cells_failed": len(failed),
+            "paths": sum(len(c.paths) for c in self.cells),
+            "invariants": sum(len(c.invariants) for c in self.cells),
+            "fuzz_cases": len(self.fuzz),
+            "fuzz_failed": sum(1 for f in self.fuzz if not f.passed),
+            "passed": self.passed,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "version": self.version,
+            "scale": self.scale,
+            "seed": self.seed,
+            "sample": self.sample,
+            "bless": self.bless,
+            "goldens_dir": self.goldens_dir,
+            "summary": self.summary(),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "fuzz": [outcome.to_dict() for outcome in self.fuzz],
+            "error": self.error,
+        }
+
+    def write(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+__all__ = [
+    "GOLDEN_BLESSED",
+    "GOLDEN_MATCH",
+    "GOLDEN_MISMATCH",
+    "GOLDEN_MISSING",
+    "REPORT_SCHEMA_VERSION",
+    "CellReport",
+    "CheckReport",
+]

@@ -78,6 +78,17 @@ The long-running simulation service (see docs/SERVING.md) starts with
 the ``serve`` subcommand and drains gracefully on SIGTERM::
 
     python -m repro.experiments serve --port 8642 --jobs 4
+
+The conformance check (see docs/TESTING.md) verifies a seeded sample
+of cells against the committed golden digests, runs every execution
+path differentially, and writes ``CHECK_report.json``::
+
+    python -m repro.experiments check --sample 6 --seed 0
+    python -m repro.experiments check --bless --note "why semantics moved"
+
+Exit codes are uniform across subcommands: ``0`` success, ``1``
+failure (digest mismatch, failed sweep cell, invariant violation),
+``2`` usage error (unknown experiment/action, missing ``--note``).
 """
 
 from __future__ import annotations
@@ -215,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment id (e.g. fig15), 'list', 'all', "
-            "'cache' (with 'info'/'clear'), 'bench', or 'serve'"
+            "'cache' (with 'info'/'clear'), 'bench', 'serve', or 'check'"
         ),
     )
     parser.add_argument(
@@ -349,13 +360,68 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         metavar="PATH",
-        help="bench subcommand: output JSON path (default BENCH_kernel.json)",
+        help=(
+            "bench/check subcommands: output JSON path (default "
+            "BENCH_kernel.json / CHECK_report.json)"
+        ),
     )
     parser.add_argument(
         "--repeats",
         type=positive_int,
         default=3,
         help="bench subcommand: timing repeats per kernel (best-of)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "check subcommand: verify N sampled cells against the "
+            "goldens (0 = the full grid; default 6)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="check subcommand: sampling/fuzzing seed (default 0)",
+    )
+    parser.add_argument(
+        "--bless",
+        action="store_true",
+        help=(
+            "check subcommand: re-record the full golden grid "
+            "(requires --note with a changelog entry)"
+        ),
+    )
+    parser.add_argument(
+        "--note",
+        default=None,
+        metavar="TEXT",
+        help=(
+            "check subcommand: changelog note stored with blessed "
+            "goldens (mandatory with --bless)"
+        ),
+    )
+    parser.add_argument(
+        "--goldens",
+        default=None,
+        metavar="PATH",
+        help=(
+            "check subcommand: golden store directory "
+            "(default: $REPRO_GOLDENS or tests/goldens)"
+        ),
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "check subcommand: seeded fuzz cases to run "
+            "(default 4; 0 disables)"
+        ),
     )
     parser.add_argument(
         "--host",
@@ -399,6 +465,21 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_bench_command(
             out_path=args.out or DEFAULT_BENCH_OUT, repeats=args.repeats
+        )
+
+    if args.experiment == "check":
+        from repro.check import DEFAULT_SAMPLE, run_check_command
+        from repro.check.runner import DEFAULT_FUZZ
+
+        return run_check_command(
+            sample=args.sample if args.sample is not None else DEFAULT_SAMPLE,
+            seed=args.seed,
+            bless=args.bless,
+            note=args.note,
+            goldens=args.goldens,
+            out=args.out,
+            jobs=args.jobs,
+            fuzz=args.fuzz if args.fuzz is not None else DEFAULT_FUZZ,
         )
 
     if args.experiment == "serve":
@@ -477,11 +558,23 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+    # Operational failures (an exhausted cell, a tripped invariant
+    # auditor) exit 1 with a one-line diagnosis rather than a raw
+    # traceback — uniform with the check/bench subcommands, and what
+    # shell pipelines and CI gates key on.
+    from repro.runtime import SweepJobError
+    from repro.telemetry import InvariantViolation
+
     if args.experiment == "all":
-        for name, runner in EXPERIMENTS.items():
-            print(f"==== {name} ====")
-            runner(scale, executor)
-            print()
+        try:
+            for name, runner in EXPERIMENTS.items():
+                print(f"==== {name} ====")
+                runner(scale, executor)
+                print()
+        except (SweepJobError, InvariantViolation) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            report_runtime()
+            return 1
         report_runtime()
         return 0
 
@@ -493,7 +586,12 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    runner(scale, executor)
+    try:
+        runner(scale, executor)
+    except (SweepJobError, InvariantViolation) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        report_runtime()
+        return 1
     report_runtime()
     return 0
 

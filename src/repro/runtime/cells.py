@@ -39,6 +39,7 @@ def simulate_cell(
     telemetry: EventBus | None = None,
     audit: bool = False,
     trace: CompiledTrace | None = None,
+    kernel: str = "auto",
 ) -> SimulationResult:
     """Simulate one cell from scratch (config, workload, architecture
     all built fresh — nothing is shared between cells).
@@ -49,7 +50,10 @@ def simulate_cell(
     given), raising :class:`~repro.telemetry.InvariantViolation` the
     moment an SRRT invariant breaks.  ``trace`` replays a precompiled
     trace (e.g. attached from a shared-memory arena) instead of
-    regenerating — byte-identical either way.
+    regenerating — byte-identical either way.  ``kernel`` forces a
+    replay kernel (the conformance oracle in :mod:`repro.check` pins
+    each path explicitly); the default follows
+    :func:`repro.sim.select_kernel`.
     """
     from repro.experiments.designs import REGISTRY
 
@@ -75,6 +79,7 @@ def simulate_cell(
         accesses_per_core=scale.accesses_per_core,
         warmup_per_core=scale.warmup_per_core,
         telemetry=bus,
+        kernel=kernel,
     )
 
 

@@ -17,6 +17,7 @@ import pytest
 from repro.experiments.designs import REGISTRY
 from repro.experiments.runner import SMOKE_SCALE, Scale
 from repro.runtime import SweepExecutor
+from tests.conftest import tiny_scale
 from repro.runtime.arena import (
     ARENA_PREFIX,
     ARENA_SCHEMA_VERSION,
@@ -30,13 +31,7 @@ from repro.telemetry import ArenaEvent, event_from_dict
 from repro.workloads import benchmark, build_workload
 from repro.workloads.compiled import compile_trace
 
-TINY = Scale(
-    fast_mb=1.0,
-    accesses_per_core=120,
-    warmup_per_core=120,
-    num_copies=2,
-    benchmarks=("mcf", "bwaves"),
-)
+TINY = tiny_scale(benchmarks=("mcf", "bwaves"))
 
 
 def leaked_segments() -> list:
@@ -243,6 +238,7 @@ class TestSweepParity:
             executor.metrics,
         )
 
+    @pytest.mark.slow
     def test_arena_matches_regeneration_across_registry(self):
         # Every design — batched-kernel, scalar, and pager-backed
         # alike — must produce byte-identical wire forms either way.

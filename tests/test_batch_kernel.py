@@ -68,6 +68,7 @@ class TestKernelParity:
     def config(self):
         return SMOKE_SCALE.config()
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("label", REGISTRY.labels())
     def test_design_parity(self, label, config):
         scalar_result, scalar_events = _run(label, "scalar", config)

@@ -9,9 +9,9 @@ from repro.experiments.runner import DEFAULT_SCALE, SMOKE_SCALE
 
 
 @pytest.fixture(autouse=True)
-def _isolated_cache_dir(monkeypatch, tmp_path):
-    """Keep CLI runs without --cache-dir out of the user's home."""
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-cache"))
+def _isolated_cache_dir(isolated_cache_dir):
+    """Keep CLI runs without --cache-dir out of the user's home
+    (delegates to the shared ``isolated_cache_dir`` fixture)."""
 
 
 class TestCli:
@@ -199,3 +199,34 @@ class TestCacheSubcommand:
     def test_unknown_cache_action(self, capsys, tmp_path):
         assert main(["cache", "wipe", "--cache-dir", str(tmp_path)]) == 2
         assert "unknown cache action" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The CLI contract: 0 success, 1 runtime failure, 2 usage error —
+    a sweep that cannot complete must never exit 0."""
+
+    def test_exhausted_fault_plan_exits_one(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # A crash with no retries is unsurvivable: the SweepJobError
+        # must surface as exit code 1, not a traceback or a false 0.
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,crash=1,retries=0")
+        code = main(
+            ["fig16", *SMOKE_FLAGS, "--no-cache",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Figure 16" not in captured.out
+
+    def test_all_with_failing_plan_exits_one(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,crash=1,retries=0")
+        code = main(
+            ["all", *SMOKE_FLAGS, "--no-cache",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

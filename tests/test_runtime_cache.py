@@ -7,21 +7,15 @@ import multiprocessing
 
 import pytest
 
-from repro.experiments import Scale
 from repro.runtime import (
     ResultCache,
     corrupt_cache_entry,
     default_cache_dir,
     simulate_cell,
 )
+from tests.conftest import tiny_scale
 
-TINY_SCALE = Scale(
-    fast_mb=1.0,
-    accesses_per_core=100,
-    warmup_per_core=100,
-    num_copies=2,
-    benchmarks=("mcf",),
-)
+TINY_SCALE = tiny_scale(accesses=100)
 
 
 @pytest.fixture(scope="module")

@@ -17,7 +17,7 @@ import random
 
 import pytest
 
-from repro.experiments import SMOKE_SCALE, Scale
+from repro.experiments import SMOKE_SCALE
 from repro.experiments.designs import REGISTRY
 from repro.runtime import (
     FAULT_CORRUPT,
@@ -34,18 +34,13 @@ from repro.runtime import (
     WorkerCrashError,
     apply_fault,
 )
+from tests.conftest import tiny_scale
 
 # One design per kernel: PoM sweeps use the batched replay kernel,
 # Alloy-Cache the scalar one — equality must hold under both.
 DESIGNS = ("PoM", "Alloy-Cache")
 
-TINY = Scale(
-    fast_mb=1.0,
-    accesses_per_core=120,
-    warmup_per_core=120,
-    num_copies=2,
-    benchmarks=("mcf", "comd"),
-)
+TINY = tiny_scale(benchmarks=("mcf", "comd"))
 
 # Wall-clock budget for one *healthy* TINY cell, with headroom for a
 # loaded CI box; injected hangs sleep far longer, so the timeout still
@@ -134,10 +129,10 @@ class TestFaultAssignment:
         plan = FaultPlan(seed=11, crashes=1, hangs=1, errors=1)
         assert plan.materialise(self.GRID) == plan.materialise(self.GRID)
 
-    def test_assignment_ignores_cell_order_and_duplicates(self):
+    def test_assignment_ignores_cell_order_and_duplicates(self, rng):
         plan = FaultPlan(seed=11, crashes=2, errors=1)
         shuffled = list(self.GRID)
-        random.Random(99).shuffle(shuffled)
+        rng.shuffle(shuffled)
         assert plan.materialise(shuffled + shuffled) == plan.materialise(
             self.GRID
         )
@@ -191,13 +186,18 @@ class TestSweepJobError:
         assert "PoM/mcf" in str(clone)
 
 
+@pytest.mark.slow
 class TestByteEquality:
     """Property-based (seeded stdlib ``random``): random tolerable
-    plans never change a single bit of the sweep results."""
+    plans never change a single bit of the sweep results.
+
+    Marked ``slow``: the acceptance sweep and the pooled plans are the
+    longest cells in the tree; the fault-matrix CI job opts back in.
+    """
 
     @pytest.mark.parametrize("case", range(4))
-    def test_random_worker_fault_plans(self, case, reference):
-        rng = random.Random(1000 + case)
+    def test_random_worker_fault_plans(self, case, reference, session_seed):
+        rng = random.Random(f"{session_seed}:fault-plan:{case}")
         plan = FaultPlan(
             seed=rng.randrange(1 << 16),
             crashes=rng.randint(0, 2),
@@ -221,9 +221,9 @@ class TestByteEquality:
 
     @pytest.mark.parametrize("case", range(3))
     def test_random_corruption_with_warm_cache(
-        self, case, reference, tmp_path
+        self, case, reference, tmp_path, session_seed
     ):
-        rng = random.Random(2000 + case)
+        rng = random.Random(f"{session_seed}:fault-corrupt:{case}")
         plan = FaultPlan(
             seed=rng.randrange(1 << 16), corrupt=rng.randint(1, 2)
         )
@@ -286,6 +286,7 @@ class TestByteEquality:
 
 
 class TestTimeoutsAndDegradation:
+    @pytest.mark.slow
     def test_pooled_hang_is_killed_and_retried(self, reference):
         plan = FaultPlan(seed=8, hangs=1, hang_seconds=HANG)
         executor = SweepExecutor(

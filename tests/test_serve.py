@@ -32,13 +32,10 @@ from repro.serve.metrics import METRICS_SCHEMA_VERSION, ServerMetrics, percentil
 from repro.serve.scheduler import CHECKPOINTED, DONE, Job
 from repro.telemetry import EventBus
 from repro.telemetry.events import ServeEvent, event_from_dict
+from tests.conftest import scale_request_kwargs, tiny_scale
 
-TINY = {
-    "accesses_per_core": 40,
-    "warmup_per_core": 40,
-    "num_copies": 2,
-    "fast_mb": 1.0,
-}
+TINY_SCALE = tiny_scale(accesses=40)
+TINY = scale_request_kwargs(TINY_SCALE)
 
 
 def tiny_request(design="Chameleon", workload="mcf", **extra):
@@ -305,12 +302,9 @@ class TestServeTelemetry:
 
 class TestRunCells:
     def test_run_cells_matches_run(self, tmp_path):
-        from repro.experiments.runner import Scale
         from repro.runtime import SweepExecutor
 
-        scale = Scale(benchmarks=("mcf",), **{
-            k: v for k, v in TINY.items() if k != "fast_mb"
-        }, fast_mb=1.0)
+        scale = TINY_SCALE
         full = SweepExecutor(faults=None).run(scale, ["PoM"])
         cells = SweepExecutor(faults=None).run_cells(
             scale, [("PoM", "mcf")]
@@ -341,7 +335,11 @@ def served(tmp_path):
         yield Client(port=srv.port), srv
 
 
+@pytest.mark.slow
 class TestEndToEnd:
+    """Real server + HTTP client end-to-end; ``slow`` keeps the
+    socket-bound suite out of tier-1 (the serve-smoke job opts in)."""
+
     def test_healthz_and_metrics_schema(self, served):
         client, _ = served
         health = client.healthz()
@@ -450,6 +448,7 @@ class TestEndToEnd:
         assert info.value.status == 404
 
 
+@pytest.mark.slow
 class TestBackpressure:
     def test_admission_rejects_when_queue_full(self, tmp_path):
         # hold=True queues without dispatching, so depth is exact.
@@ -475,6 +474,7 @@ class TestBackpressure:
             assert snap["requests"]["rejected"] == 1
 
 
+@pytest.mark.slow
 class TestDrainResume:
     def test_drain_and_resume_round_trip(self, tmp_path):
         cache_dir = tmp_path / "cache"
